@@ -1,0 +1,51 @@
+"""Ablation A1: the variable-ordering heuristic of Section 2.3.
+
+The paper argues that analysing variables in an order that follows
+reachability from already-analysed variables avoids weaker results caused by
+residual-heap propagation.  This harness runs SLING on representative
+programs under the paper's ordering ("reachability") and two baselines
+("stack" declaration order, "reverse") and compares the quality of the
+outcome: how many heap cells the best invariant leaves undescribed and how
+many documented properties are still found.
+"""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core.sling import Sling, SlingConfig
+
+_PROGRAMS = ["dll/concat", "sll/reverse", "gh_dll/reverse", "glist_dll/find"]
+_ORDERS = ["reachability", "stack", "reverse"]
+
+
+def _run(benchmark_name: str, order: str):
+    entry = get_benchmark(benchmark_name)
+    config = SlingConfig(variable_order=order)
+    sling = Sling(entry.program, entry.predicates, config)
+    specification = sling.infer_function(entry.function, entry.test_cases(seed=1))
+    found = sum(1 for documented in entry.documented if documented.check(specification))
+    return specification, found, len(entry.documented)
+
+
+@pytest.mark.parametrize("order", _ORDERS)
+@pytest.mark.parametrize("program", _PROGRAMS)
+def test_variable_order_ablation(once, program, order):
+    """Measure inference under each variable-analysis order."""
+    specification, found, total = once(_run, program, order)
+    assert specification.invariant_count() > 0
+    if order == "reachability":
+        # The paper's heuristic must not lose any documented property on
+        # these programs (it is the configuration used for Tables 1 and 2).
+        assert found == total
+
+
+def test_reachability_order_is_at_least_as_good():
+    """Across the ablation programs, the paper's ordering finds at least as
+    many documented properties as either baseline ordering."""
+    scores = {order: 0 for order in _ORDERS}
+    for program in _PROGRAMS:
+        for order in _ORDERS:
+            _, found, _ = _run(program, order)
+            scores[order] += found
+    assert scores["reachability"] >= scores["stack"]
+    assert scores["reachability"] >= scores["reverse"]

@@ -1,0 +1,71 @@
+"""Ablation A2: cost of the symbolic-heap model checker (Section 4.5).
+
+The paper notes the checking problem is EXPTIME in general but cheap on the
+small traces SLING collects.  These benchmarks measure how the checker's cost
+grows with structure size and with the number of traces, which is the
+empirical justification for the "few traces of size 10" input protocol.
+"""
+
+import random
+
+import pytest
+
+from repro.datagen import make_avl, make_bst, make_dll, make_sll
+from repro.lang import RuntimeHeap, standard_structs
+from repro.sl.checker import ModelChecker
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.parser import parse_formula
+from repro.sl.stdpreds import standard_predicates
+
+_STRUCTS = standard_structs()
+_CHECKER = ModelChecker(standard_predicates())
+
+
+def _model(generator, size, var_type, seed=0):
+    rng = random.Random(seed)
+    heap = RuntimeHeap(_STRUCTS)
+    root = generator(heap, rng, size)
+    cells = {}
+    for address in heap.reachable([root]):
+        struct = _STRUCTS.get(heap.type_of(address))
+        values = heap.cell(address)
+        cells[address] = HeapCell(struct.name, [(n, values[n]) for n in struct.field_names])
+    return StackHeapModel({"x": root}, Heap(cells), {"x": var_type})
+
+
+_SCENARIOS = {
+    "sll": (make_sll, "SllNode*", "sll(x)"),
+    "dll": (make_dll, "DllNode*", "exists p, t. dll(x, p, t, nil)"),
+    "bst": (make_bst, "BstNode*", "exists lo, hi. bst(x, lo, hi)"),
+    "avl": (make_avl, "AvlNode*", "exists h. avl(x, h)"),
+}
+
+
+@pytest.mark.parametrize("structure", sorted(_SCENARIOS))
+@pytest.mark.parametrize("size", [10, 30, 80])
+def test_checker_scales_with_structure_size(benchmark, structure, size):
+    """One reduction over a single model of growing size."""
+    generator, var_type, formula_text = _SCENARIOS[structure]
+    model = _model(generator, size, var_type)
+    formula = parse_formula(formula_text)
+
+    result = benchmark.pedantic(_CHECKER.check, args=(model, formula), rounds=3, iterations=1)
+    assert result is not None and result.covers_everything()
+
+
+@pytest.mark.parametrize("trace_count", [1, 5, 25])
+def test_checker_scales_with_trace_count(benchmark, trace_count):
+    """Checking one candidate against many traces (Algorithm 2, line 10)."""
+    models = [_model(make_dll, 10, "DllNode*", seed=seed) for seed in range(trace_count)]
+    formula = parse_formula("exists p, t. dll(x, p, t, nil)")
+
+    results = benchmark.pedantic(_CHECKER.check_all, args=(models, formula), rounds=3, iterations=1)
+    assert results is not None and len(results) == trace_count
+
+
+def test_checker_rejection_cost(benchmark):
+    """Refuting a wrong candidate (the common case during enumeration)."""
+    model = _model(make_dll, 30, "DllNode*")
+    wrong = parse_formula("sll(x)")
+    result = benchmark.pedantic(_CHECKER.check, args=(model, wrong), rounds=3, iterations=1)
+    assert result is None

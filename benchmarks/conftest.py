@@ -1,0 +1,18 @@
+"""pytest-benchmark configuration shared by the benchmark harnesses.
+
+Each benchmark runs its workload exactly once per round (the workloads are
+whole-program analyses, not micro-kernels), so rounds/iterations are pinned
+to keep the suite's wall-clock time proportional to one evaluation pass.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benchmarked callable exactly once (single round, single iteration)."""
+
+    def run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Infer invariants for binary-search-tree operations at arbitrary locations.
+
+Shows the second half of the public API: instead of whole-function
+specifications, ask for the invariants at one specific location -- here the
+loop head of the iterative BST lookup and the entry of the recursive
+insertion -- and print the data-sensitive shape facts SLING finds (the ``bst``
+predicate tracks lower/upper bounds of the stored keys).
+
+Run with ``python examples/bst_invariants.py``.
+"""
+
+from repro.benchsuite import get_benchmark
+from repro.core import Sling, SlingConfig
+from repro.sl.stdpreds import STRUCT_FIELDS
+
+
+def main() -> None:
+    find_iter = get_benchmark("bst/findIter")
+    sling = Sling(find_iter.program, find_iter.predicates, SlingConfig())
+    tests = find_iter.test_cases(seed=11)
+
+    print("== Loop invariant of bst/findIter (cursor walks down a BST) ==")
+    for invariant in sling.infer_at("findIter", "loop#0", tests)[:4]:
+        print("  ", invariant.pretty(STRUCT_FIELDS))
+
+    print("\n== Precondition of bst/insert ==")
+    insert = get_benchmark("bst/insert")
+    sling_insert = Sling(insert.program, insert.predicates)
+    for invariant in sling_insert.infer_at("insert", "entry", insert.test_cases(seed=11))[:4]:
+        print("  ", invariant.pretty(STRUCT_FIELDS))
+
+    print("\n== Postconditions of bst/insert (each return statement) ==")
+    spec = sling_insert.infer_function("insert", insert.test_cases(seed=11))
+    for location, invariants in spec.postconditions.items():
+        for invariant in invariants[:2]:
+            print(f"  [{location}]", invariant.pretty(STRUCT_FIELDS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Compare SLING against the S2-like static baseline on a few categories.
+
+This is a scaled-down version of the Table 2 experiment (Section 5.5): it
+runs both analyses over a handful of categories and prints the
+Both / S2-only / SLING-only / Neither buckets.  The full table is produced by
+``python -m repro.evaluation.table2``.
+
+Run with ``python examples/compare_static.py``.
+"""
+
+from repro.evaluation.table2 import format_table2, run_table2
+
+
+def main() -> None:
+    result = run_table2(
+        categories=["SLL", "DLL", "Binary Search Tree", "GRASShopper_SLL (Recursive)"],
+    )
+    print(format_table2(result))
+    summary = result.summary()
+    print(
+        f"\nSLING finds {summary.both + summary.sling_only} of {summary.total} documented "
+        f"properties; the static baseline finds {summary.both + summary.s2_only}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim keeps ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` working offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Reproduction of SLING (PLDI 2019): dynamic inference of separation-logic invariants.
+
+The package is organised as follows:
+
+* :mod:`repro.sl` -- separation-logic formulae, inductive predicates,
+  stack-heap models and the symbolic-heap model checker.
+* :mod:`repro.lang` -- *heaplang*, a small C-like heap-manipulating language
+  with an interpreter and a tracing debugger.  It stands in for the C
+  benchmark programs and the LLDB debugger used by the paper.
+* :mod:`repro.datagen` -- random data-structure generators used to build
+  test inputs inside the interpreter heap.
+* :mod:`repro.core` -- the SLING inference algorithm itself (heap
+  partitioning, atomic-predicate inference, pure inference, frame-rule
+  validation).
+* :mod:`repro.baselines` -- a simplified static bi-abduction analyser used
+  as the S2 comparison point of Table 2.
+* :mod:`repro.benchsuite` -- heaplang re-implementations of the paper's
+  benchmark categories together with their documented invariants.
+* :mod:`repro.evaluation` -- harnesses regenerating Table 1 and Table 2.
+"""
+
+from repro.core.sling import Sling, SlingConfig, infer_invariants, infer_specification
+
+__all__ = [
+    "Sling",
+    "SlingConfig",
+    "infer_invariants",
+    "infer_specification",
+]
+
+__version__ = "0.1.0"

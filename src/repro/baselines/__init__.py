@@ -1,0 +1,5 @@
+"""Static-analysis baselines used for the Table 2 comparison."""
+
+from repro.baselines.s2 import S2Analyzer, S2Result
+
+__all__ = ["S2Analyzer", "S2Result"]

@@ -1,0 +1,36 @@
+"""heaplang re-implementations of the paper's benchmark programs.
+
+The original evaluation uses 153 C programs from the VCDryad suite plus 4
+programs from Brotherston et al., organised in 22 categories (Table 1).
+This package re-implements the algorithms of those benchmarks in heaplang,
+organised in the same categories, together with
+
+* the inductive predicates each category uses,
+* test-input generators following the paper's protocol (empty structures plus
+  random structures of size 10),
+* the documented properties (specifications and loop invariants) used for
+  the Table 2 comparison, and
+* the intentional bugs the paper calls out (crashing programs, the
+  ``sortMerge`` typo, the ``dll_fix`` missing guard, programs that ``free``
+  memory and therefore yield spurious invariants).
+"""
+
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    DocumentedProperty,
+    all_benchmarks,
+    benchmarks_by_category,
+    categories,
+    get_benchmark,
+    load_all,
+)
+
+__all__ = [
+    "BenchmarkProgram",
+    "DocumentedProperty",
+    "all_benchmarks",
+    "benchmarks_by_category",
+    "categories",
+    "get_benchmark",
+    "load_all",
+]

@@ -1,0 +1,133 @@
+"""AFWP_DLL category: ``dll_fix`` and ``dll_splice`` from Itzhaky et al.
+
+``dll_fix`` repairs the ``prev`` pointers of a doubly-linked list whose
+``next`` chain is intact.  The paper's Section 5.4 case study concerns a
+seeded bug where the ``k = nil`` guard is commented out; we register both the
+buggy variant (``dll_fix``) and the corrected one (``dll_fix_fixed``) so the
+case study can be reproduced programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_dll
+from repro.lang import Assign, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import field, is_null, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("dll", "sll")
+_CATEGORY = "AFWP_DLL"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"afwp_dll/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+def _dll_fix(name: str, buggy: bool) -> Function:
+    """Rebuild ``prev`` pointers by walking the ``next`` chain.
+
+    The buggy variant mirrors the seeded bug of the paper's Section 5.4 case
+    study: the cursor ``k`` is (re-)initialised from the wrong field, so it is
+    always ``nil`` when the loop head is reached and the repair loop never
+    runs.  SLING's inferred loop invariant then contains ``k = nil``, whereas
+    the documented invariant for the correct program allows ``k`` to range
+    over the list -- which is exactly how the paper says the bug was spotted.
+    """
+    cursor_init = Assign("k", field("j", "prev") if buggy else field("j", "next"))
+    return Function(
+        name,
+        [("h", "DllNode*")],
+        "DllNode*",
+        [
+            If(is_null("h"), [Return(v("h"))]),
+            Assign("j", v("h")),
+            Store(v("j"), "prev", null()),
+            cursor_init,
+            While(
+                not_null("k"),
+                [
+                    Store(v("k"), "prev", v("j")),
+                    Assign("j", v("k")),
+                    Assign("k", field("k", "next")),
+                ],
+            ),
+            Return(v("h")),
+        ],
+    )
+
+
+def _broken_prev_inputs(rng):
+    """Doubly-linked lists whose prev pointers have been scrambled."""
+
+    def case(size):
+        def build(heap):
+            head = make_dll(heap, rng, size)
+            cur = head
+            while cur != 0:
+                heap.write(cur, "prev", head)
+                cur = heap.read(cur, "next")
+            return [head]
+
+        return build
+
+    return [case(0), case(1), case(3), case(10)]
+
+
+_register(
+    "dll_fix",
+    _dll_fix("dll_fix", buggy=True),
+    _broken_prev_inputs,
+    [post_only_pred("dll", post_root="res"), loop_with_pred(("dll", "sll"))],
+)
+
+_register(
+    "dll_fix_fixed",
+    _dll_fix("dll_fix_fixed", buggy=False),
+    _broken_prev_inputs,
+    [post_only_pred("dll", post_root="res"), loop_with_pred(("dll", "sll"))],
+)
+
+
+# dll_splice(x, y): splice list y right after the head of list x.
+dll_splice = Function(
+    "dll_splice",
+    [("x", "DllNode*"), ("y", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        If(is_null("y"), [Return(v("x"))]),
+        Assign("rest", field("x", "next")),
+        Store(v("x"), "next", v("y")),
+        Store(v("y"), "prev", v("x")),
+        Assign("tail", v("y")),
+        While(not_null(field("tail", "next")), [Assign("tail", field("tail", "next"))]),
+        Store(v("tail"), "next", v("rest")),
+        If(not_null("rest"), [Store(v("rest"), "prev", v("tail"))]),
+        Return(v("x")),
+    ],
+)
+_register(
+    "dll_splice",
+    dll_splice,
+    two_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x"), loop_with_pred("dll")],
+)

@@ -1,0 +1,299 @@
+"""AFWP_SLL category: singly-linked list programs from Itzhaky et al. (AFWP)."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import (
+    single_structure_cases,
+    structure_and_value_cases,
+    two_structure_cases,
+    value_only_cases,
+)
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sll, make_sll_data, make_sorted_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, and_, call, eq, field, gt, i, is_null, le, lt, ne, not_null, null, sub, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("sll", "lseg", "slldata", "slsegdata", "sls")
+_CATEGORY = "AFWP_SLL"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    if not isinstance(functions, list):
+        functions = [functions]
+    register(
+        BenchmarkProgram(
+            name=f"afwp_sll/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+create = Function(
+    "create",
+    [("n", "int")],
+    "SllNode*",
+    [
+        Assign("head", null()),
+        While(
+            gt(v("n"), i(0)),
+            [
+                Alloc("node", "SllNode", {"next": v("head")}),
+                Assign("head", v("node")),
+                Assign("n", sub(v("n"), i(1))),
+            ],
+        ),
+        Return(v("head")),
+    ],
+)
+_register(
+    "create",
+    create,
+    "create",
+    value_only_cases(),
+    [post_only_pred(("sll", "lseg"), post_root="res"), loop_with_pred(("sll", "lseg"), root="head")],
+)
+
+
+del_all = Function(
+    "delAll",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        While(not_null("x"), [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))]),
+        Return(null()),
+    ],
+)
+_register(
+    "delAll",
+    del_all,
+    "delAll",
+    single_structure_cases(make_sll),
+    [pre_only_pred(("sll", "lseg"), pre_root="x"), loop_with_pred(("sll", "lseg"), root="x")],
+    uses_free=True,
+)
+
+
+find = Function(
+    "find",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        Assign("cur", v("x")),
+        While(
+            and_(not_null("cur"), ne(field("cur", "data"), v("k"))),
+            [Assign("cur", field("cur", "next"))],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "find",
+    find,
+    "find",
+    structure_and_value_cases(make_sll_data, values=(5, 50, 95)),
+    [spec_with_pred(("slldata", "sls"), pre_root="x"), loop_with_pred(("slldata", "slsegdata", "sls"))],
+)
+
+
+last = Function(
+    "last",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "last",
+    last,
+    "last",
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x"), loop_with_pred(("sll", "lseg"))],
+)
+
+
+reverse = Function(
+    "reverse",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Assign("prev", null()),
+        While(
+            not_null("x"),
+            [
+                Assign("next", field("x", "next")),
+                Store(v("x"), "next", v("prev")),
+                Assign("prev", v("x")),
+                Assign("x", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    "reverse",
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res"), loop_with_pred(("sll", "lseg"))],
+)
+
+
+rotate = Function(
+    "rotate",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(is_null(field("x", "next")), [Return(v("x"))]),
+        Assign("newHead", field("x", "next")),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("x")),
+        Store(v("x"), "next", null()),
+        Return(v("newHead")),
+    ],
+)
+_register(
+    "rotate",
+    rotate,
+    "rotate",
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res"), loop_with_pred(("sll", "lseg"))],
+)
+
+
+swap = Function(
+    "swap",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(is_null(field("x", "next")), [Return(v("x"))]),
+        Assign("second", field("x", "next")),
+        Store(v("x"), "next", field("second", "next")),
+        Store(v("second"), "next", v("x")),
+        Return(v("second")),
+    ],
+)
+_register(
+    "swap",
+    swap,
+    "swap",
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+)
+
+
+insert = Function(
+    "insert",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(is_null("x"), [Alloc("node", "SNode", {"data": v("k")}), Return(v("node"))]),
+        If(
+            le(v("k"), field("x", "data")),
+            [Alloc("node", "SNode", {"data": v("k"), "next": v("x")}), Return(v("node"))],
+        ),
+        Store(v("x"), "next", call("insert", field("x", "next"), v("k"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    "insert",
+    structure_and_value_cases(make_sorted_sll, values=(5, 55, 200)),
+    [spec_with_pred("sls", pre_root="x", post_root="res")],
+)
+
+
+delete = Function(
+    "del",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(
+            eq(field("x", "data"), v("k")),
+            [Assign("rest", field("x", "next")), Free(v("x")), Return(v("rest"))],
+        ),
+        Store(v("x"), "next", call("del", field("x", "next"), v("k"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "del",
+    delete,
+    "del",
+    structure_and_value_cases(make_sorted_sll, values=(5, 55, 200)),
+    [spec_with_pred("sls", pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+filter_list = Function(
+    "filter",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("rest", call("filter", field("x", "next"), v("k"))),
+        If(
+            lt(field("x", "data"), v("k")),
+            [Free(v("x")), Return(v("rest"))],
+        ),
+        Store(v("x"), "next", v("rest")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "filter",
+    filter_list,
+    "filter",
+    structure_and_value_cases(make_sll_data, values=(25, 50, 75)),
+    [spec_with_pred(("slldata", "sls"), pre_root="x")],
+    uses_free=True,
+)
+
+
+merge = Function(
+    "merge",
+    [("x", "SNode*"), ("y", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        If(is_null("y"), [Return(v("x"))]),
+        If(
+            le(field("x", "data"), field("y", "data")),
+            [Store(v("x"), "next", call("merge", field("x", "next"), v("y"))), Return(v("x"))],
+        ),
+        Store(v("y"), "next", call("merge", v("x"), field("y", "next"))),
+        Return(v("y")),
+    ],
+)
+_register(
+    "merge",
+    merge,
+    "merge",
+    two_structure_cases(make_sorted_sll),
+    [spec_with_pred("sls", pre_root="x"), post_only_pred("sls")],
+)

@@ -1,0 +1,225 @@
+"""AVL Tree category: height-balanced binary search trees."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_avl
+from repro.lang import (
+    Alloc,
+    Assign,
+    Function,
+    If,
+    Program,
+    Return,
+    Store,
+    While,
+    standard_structs,
+)
+from repro.lang.builder import add, call, field, gt, i, is_null, lt, not_null, null, sub, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("avl")
+_CATEGORY = "AVL Tree"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"avl/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- shared helpers: height and rotations -------------------------------------------------------
+
+height_of = Function(
+    "heightOf",
+    [("t", "AvlNode*")],
+    "int",
+    [
+        If(is_null("t"), [Return(i(0))]),
+        Return(field("t", "height")),
+    ],
+)
+
+fix_height = Function(
+    "fixHeight",
+    [("t", "AvlNode*")],
+    "int",
+    [
+        Assign("hl", call("heightOf", field("t", "left"))),
+        Assign("hr", call("heightOf", field("t", "right"))),
+        If(
+            gt(v("hl"), v("hr")),
+            [Store(v("t"), "height", add(v("hl"), i(1)))],
+            [Store(v("t"), "height", add(v("hr"), i(1)))],
+        ),
+        Return(field("t", "height")),
+    ],
+)
+
+rotate_right = Function(
+    "rotateRight",
+    [("t", "AvlNode*")],
+    "AvlNode*",
+    [
+        Assign("l", field("t", "left")),
+        Store(v("t"), "left", field("l", "right")),
+        Store(v("l"), "right", v("t")),
+        Assign("ignore1", call("fixHeight", v("t"))),
+        Assign("ignore2", call("fixHeight", v("l"))),
+        Return(v("l")),
+    ],
+)
+
+rotate_left = Function(
+    "rotateLeft",
+    [("t", "AvlNode*")],
+    "AvlNode*",
+    [
+        Assign("r", field("t", "right")),
+        Store(v("t"), "right", field("r", "left")),
+        Store(v("r"), "left", v("t")),
+        Assign("ignore1", call("fixHeight", v("t"))),
+        Assign("ignore2", call("fixHeight", v("r"))),
+        Return(v("r")),
+    ],
+)
+
+avl_balance = Function(
+    "avlBalance",
+    [("t", "AvlNode*")],
+    "AvlNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        Assign("ignore", call("fixHeight", v("t"))),
+        Assign("hl", call("heightOf", field("t", "left"))),
+        Assign("hr", call("heightOf", field("t", "right"))),
+        If(
+            gt(sub(v("hl"), v("hr")), i(1)),
+            [
+                If(
+                    lt(
+                        call("heightOf", field(field("t", "left"), "left")),
+                        call("heightOf", field(field("t", "left"), "right")),
+                    ),
+                    [Store(v("t"), "left", call("rotateLeft", field("t", "left")))],
+                ),
+                Return(call("rotateRight", v("t"))),
+            ],
+        ),
+        If(
+            gt(sub(v("hr"), v("hl")), i(1)),
+            [
+                If(
+                    lt(
+                        call("heightOf", field(field("t", "right"), "right")),
+                        call("heightOf", field(field("t", "right"), "left")),
+                    ),
+                    [Store(v("t"), "right", call("rotateRight", field("t", "right")))],
+                ),
+                Return(call("rotateLeft", v("t"))),
+            ],
+        ),
+        Return(v("t")),
+    ],
+)
+
+_HELPERS = [height_of, fix_height, rotate_left, rotate_right, avl_balance]
+
+
+# -- avlBalance(t): rebalance a node whose subtrees are AVL ------------------------------------------
+
+_register(
+    "avlBalance",
+    _HELPERS,
+    "avlBalance",
+    single_structure_cases(make_avl),
+    [spec_with_pred("avl", pre_root="t", post_root="res")],
+)
+
+
+# -- findSmallest(t): leftmost node of an AVL tree -----------------------------------------------------
+
+find_smallest = Function(
+    "findSmallest",
+    [("t", "AvlNode*")],
+    "AvlNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        Assign("cur", v("t")),
+        While(not_null(field("cur", "left")), [Assign("cur", field("cur", "left"))]),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "findSmallest",
+    [find_smallest],
+    "findSmallest",
+    single_structure_cases(make_avl),
+    [spec_with_pred("avl", pre_root="t"), loop_with_pred("avl", root="t")],
+)
+
+
+# -- insert(t, k): AVL insertion with rebalancing -------------------------------------------------------
+
+avl_insert = Function(
+    "insert",
+    [("t", "AvlNode*"), ("k", "int")],
+    "AvlNode*",
+    [
+        If(
+            is_null("t"),
+            [Alloc("node", "AvlNode", {"data": v("k"), "height": i(1)}), Return(v("node"))],
+        ),
+        If(
+            lt(v("k"), field("t", "data")),
+            [Store(v("t"), "left", call("insert", field("t", "left"), v("k")))],
+            [Store(v("t"), "right", call("insert", field("t", "right"), v("k")))],
+        ),
+        Return(call("avlBalance", v("t"))),
+    ],
+)
+_register(
+    "insert",
+    [avl_insert, *_HELPERS],
+    "insert",
+    structure_and_value_cases(make_avl, values=(7, 450, 999)),
+    [spec_with_pred("avl", pre_root="t", post_root="res")],
+)
+
+
+# -- del(t): delete the minimum while keeping heights fixed up ---------------------------------------------
+
+avl_del_min = Function(
+    "del",
+    [("t", "AvlNode*")],
+    "AvlNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        If(is_null(field("t", "left")), [Return(field("t", "right"))]),
+        Store(v("t"), "left", call("del", field("t", "left"))),
+        Return(call("avlBalance", v("t"))),
+    ],
+)
+_register(
+    "del",
+    [avl_del_min, *_HELPERS],
+    "del",
+    single_structure_cases(make_avl),
+    [spec_with_pred("avl", pre_root="t", post_root="res")],
+)

@@ -1,0 +1,92 @@
+"""Binomial Heap category: child/sibling binomial forests."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_binomial_heap
+from repro.lang import Assign, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import and_, call, field, is_null, le, lt, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("binheap")
+_CATEGORY = "Binomial Heap"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"binomial/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- findMin(h): smallest root of the binomial forest -------------------------------------------
+
+find_min = Function(
+    "findMin",
+    [("h", "BinNode*")],
+    "BinNode*",
+    [
+        If(is_null("h"), [Return(null())]),
+        Assign("best", v("h")),
+        Assign("cur", field("h", "sibling")),
+        While(
+            not_null("cur"),
+            [
+                If(lt(field("cur", "data"), field("best", "data")), [Assign("best", v("cur"))]),
+                Assign("cur", field("cur", "sibling")),
+            ],
+        ),
+        Return(v("best")),
+    ],
+)
+_register(
+    "findMin",
+    [find_min],
+    "findMin",
+    single_structure_cases(make_binomial_heap),
+    [spec_with_pred("binheap", pre_root="h"), loop_with_pred("binheap")],
+)
+
+
+# -- merge(a, b): merge two root lists ordered by degree (without linking) ------------------------
+
+merge = Function(
+    "merge",
+    [("a", "BinNode*"), ("b", "BinNode*")],
+    "BinNode*",
+    [
+        If(is_null("a"), [Return(v("b"))]),
+        If(is_null("b"), [Return(v("a"))]),
+        If(
+            le(field("a", "degree"), field("b", "degree")),
+            [
+                Store(v("a"), "sibling", call("merge", field("a", "sibling"), v("b"))),
+                Return(v("a")),
+            ],
+        ),
+        Store(v("b"), "sibling", call("merge", v("a"), field("b", "sibling"))),
+        Return(v("b")),
+    ],
+)
+_register(
+    "merge",
+    [merge],
+    "merge",
+    two_structure_cases(make_binomial_heap),
+    [spec_with_pred("binheap", pre_root="a"), spec_with_pred("binheap", pre_root="b")],
+)

@@ -1,0 +1,173 @@
+"""Binary Search Tree category."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_bst
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import and_, call, eq, field, ge, is_null, lt, ne, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("bst")
+_CATEGORY = "Binary Search Tree"
+
+
+def _register(name, function_or_functions, main, make_tests, documented, **kwargs):
+    functions = (
+        function_or_functions
+        if isinstance(function_or_functions, list)
+        else [function_or_functions]
+    )
+    register(
+        BenchmarkProgram(
+            name=f"bst/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- insert(t, k): recursive BST insertion ---------------------------------------------
+
+insert = Function(
+    "insert",
+    [("t", "BstNode*"), ("k", "int")],
+    "BstNode*",
+    [
+        If(is_null("t"), [Alloc("node", "BstNode", {"data": v("k")}), Return(v("node"))]),
+        If(
+            lt(v("k"), field("t", "data")),
+            [Store(v("t"), "left", call("insert", field("t", "left"), v("k")))],
+            [Store(v("t"), "right", call("insert", field("t", "right"), v("k")))],
+        ),
+        Return(v("t")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    "insert",
+    structure_and_value_cases(make_bst, values=(7, 450, 999)),
+    [spec_with_pred("bst", pre_root="t", post_root="res")],
+)
+
+
+# -- find(t, k): recursive lookup -----------------------------------------------------------
+
+find = Function(
+    "find",
+    [("t", "BstNode*"), ("k", "int")],
+    "BstNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        If(eq(field("t", "data"), v("k")), [Return(v("t"))]),
+        If(
+            lt(v("k"), field("t", "data")),
+            [Return(call("find", field("t", "left"), v("k")))],
+        ),
+        Return(call("find", field("t", "right"), v("k"))),
+    ],
+)
+_register(
+    "find",
+    find,
+    "find",
+    structure_and_value_cases(make_bst, values=(7, 450, 999)),
+    [spec_with_pred("bst", pre_root="t")],
+)
+
+
+# -- findIter(t, k): iterative lookup ----------------------------------------------------------
+
+find_iter = Function(
+    "findIter",
+    [("t", "BstNode*"), ("k", "int")],
+    "BstNode*",
+    [
+        Assign("cur", v("t")),
+        While(
+            and_(not_null("cur"), ne(field("cur", "data"), v("k"))),
+            [
+                If(
+                    lt(v("k"), field("cur", "data")),
+                    [Assign("cur", field("cur", "left"))],
+                    [Assign("cur", field("cur", "right"))],
+                ),
+            ],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "findIter",
+    find_iter,
+    "findIter",
+    structure_and_value_cases(make_bst, values=(7, 450, 999)),
+    [spec_with_pred("bst", pre_root="t"), loop_with_pred("bst", root="cur")],
+)
+
+
+# -- del(t): delete the minimum element (leftmost node) -------------------------------------------
+
+delete_min = Function(
+    "del",
+    [("t", "BstNode*")],
+    "BstNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        If(
+            is_null(field("t", "left")),
+            [
+                Assign("rest", field("t", "right")),
+                Free(v("t")),
+                Return(v("rest")),
+            ],
+        ),
+        Store(v("t"), "left", call("del", field("t", "left"))),
+        Return(v("t")),
+    ],
+)
+_register(
+    "del",
+    delete_min,
+    "del",
+    single_structure_cases(make_bst),
+    [spec_with_pred("bst", pre_root="t", post_root="res")],
+    uses_free=True,
+)
+
+
+# -- rmRoot(t): intentionally buggy root removal (marked * in Table 1) -------------------------------
+
+rm_root = Function(
+    "rmRoot",
+    [("t", "BstNode*")],
+    "BstNode*",
+    [
+        # BUG (intentional): the root is dereferenced before the null check,
+        # so the program crashes immediately on every input we feed it.
+        Assign("l", field("t", "left")),
+        If(is_null("t"), [Return(null())]),
+        Return(v("l")),
+    ],
+)
+_register(
+    "rmRoot",
+    rm_root,
+    "rmRoot",
+    single_structure_cases(make_bst, sizes=(0, 0, 0)),
+    [spec_with_pred("bst", pre_root="t")],
+    has_bug=True,
+)

@@ -1,0 +1,150 @@
+"""Circular List category: operations over circular singly-linked lists."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_circular_list
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import eq, field, i, is_null, ne, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("cll", "clseg")
+_CATEGORY = "Circular List"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"circular/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- insertFront(x, k): insert a node right after the head (the head stays the entry point) --
+
+insert_front = Function(
+    "insertFront",
+    [("x", "CNode*"), ("k", "int")],
+    "CNode*",
+    [
+        If(
+            is_null("x"),
+            [
+                Alloc("node", "CNode", {"data": v("k")}),
+                Store(v("node"), "next", v("node")),
+                Return(v("node")),
+            ],
+        ),
+        Alloc("node", "CNode", {"data": v("k"), "next": field("x", "next")}),
+        Store(v("x"), "next", v("node")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insertFront",
+    insert_front,
+    structure_and_value_cases(make_circular_list),
+    [spec_with_pred(("cll", "clseg"), pre_root="x", post_root="res")],
+)
+
+
+# -- insertBack(x, k): insert before the head by walking the full cycle ------------------------
+
+insert_back = Function(
+    "insertBack",
+    [("x", "CNode*"), ("k", "int")],
+    "CNode*",
+    [
+        If(
+            is_null("x"),
+            [
+                Alloc("node", "CNode", {"data": v("k")}),
+                Store(v("node"), "next", v("node")),
+                Return(v("node")),
+            ],
+        ),
+        Assign("cur", v("x")),
+        While(ne(field("cur", "next"), v("x")), [Assign("cur", field("cur", "next"))]),
+        Alloc("node", "CNode", {"data": v("k"), "next": v("x")}),
+        Store(v("cur"), "next", v("node")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insertBack",
+    insert_back,
+    structure_and_value_cases(make_circular_list),
+    [
+        spec_with_pred(("cll", "clseg"), pre_root="x", post_root="res"),
+        loop_with_pred("clseg", root="cur"),
+    ],
+)
+
+
+# -- delFront(x): remove the node right after the head -------------------------------------------
+
+del_front = Function(
+    "delFront",
+    [("x", "CNode*")],
+    "CNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("victim", field("x", "next")),
+        If(eq(v("victim"), v("x")), [Free(v("x")), Return(null())]),
+        Store(v("x"), "next", field("victim", "next")),
+        Free(v("victim")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "delFront",
+    del_front,
+    single_structure_cases(make_circular_list),
+    [spec_with_pred(("cll", "clseg"), pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+# -- delBack(x): remove the node just before the head ----------------------------------------------
+
+del_back = Function(
+    "delBack",
+    [("x", "CNode*")],
+    "CNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(eq(field("x", "next"), v("x")), [Free(v("x")), Return(null())]),
+        Assign("cur", v("x")),
+        While(
+            ne(field(field("cur", "next"), "next"), v("x")),
+            [Assign("cur", field("cur", "next"))],
+        ),
+        Assign("victim", field("cur", "next")),
+        Store(v("cur"), "next", v("x")),
+        Free(v("victim")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "delBack",
+    del_back,
+    single_structure_cases(make_circular_list),
+    [
+        spec_with_pred(("cll", "clseg"), pre_root="x", post_root="res"),
+        loop_with_pred("clseg", root="cur"),
+    ],
+)

@@ -1,0 +1,94 @@
+"""Shared helpers for benchmark definitions (test-case factories)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.datagen.generators import StructureGenerator
+from repro.lang.heap import RuntimeHeap
+from repro.lang.tracer import TestCase
+
+#: Default structure sizes used by the paper's input protocol: the empty
+#: structure plus random structures of size 10 (we add a couple of small
+#: sizes to diversify traces, as running on several inputs does).
+DEFAULT_SIZES: tuple[int, ...] = (0, 1, 3, 10)
+
+
+def single_structure_cases(
+    generator: StructureGenerator, sizes: Sequence[int] = DEFAULT_SIZES
+) -> Callable[[random.Random], list[TestCase]]:
+    """Test cases for functions taking one data-structure argument."""
+
+    def make(rng: random.Random) -> list[TestCase]:
+        def case_for(size: int) -> TestCase:
+            return lambda heap: [generator(heap, rng, size)]
+
+        return [case_for(size) for size in sizes]
+
+    return make
+
+
+def structure_and_value_cases(
+    generator: StructureGenerator,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    values: Sequence[int] = (0, 5, 42),
+) -> Callable[[random.Random], list[TestCase]]:
+    """Test cases for functions taking a structure plus an integer argument."""
+
+    def make(rng: random.Random) -> list[TestCase]:
+        cases: list[TestCase] = []
+        for size in sizes:
+            value = values[size % len(values)]
+
+            def case(heap: RuntimeHeap, size=size, value=value) -> list[int]:
+                return [generator(heap, rng, size), value]
+
+            cases.append(case)
+        return cases
+
+    return make
+
+
+def two_structure_cases(
+    generator: StructureGenerator,
+    second: StructureGenerator | None = None,
+    size_pairs: Sequence[tuple[int, int]] = ((0, 2), (3, 0), (3, 2), (10, 10)),
+) -> Callable[[random.Random], list[TestCase]]:
+    """Test cases for functions taking two data-structure arguments."""
+    second_generator = second or generator
+
+    def make(rng: random.Random) -> list[TestCase]:
+        cases: list[TestCase] = []
+        for first_size, second_size in size_pairs:
+
+            def case(heap: RuntimeHeap, a=first_size, b=second_size) -> list[int]:
+                return [generator(heap, rng, a), second_generator(heap, rng, b)]
+
+            cases.append(case)
+        return cases
+
+    return make
+
+
+def no_input_cases(count: int = 3) -> Callable[[random.Random], list[TestCase]]:
+    """Test cases for functions taking no arguments (constructors)."""
+
+    def make(rng: random.Random) -> list[TestCase]:
+        return [lambda heap: [] for _ in range(count)]
+
+    return make
+
+
+def value_only_cases(
+    values: Sequence[int] = (0, 3, 10)
+) -> Callable[[random.Random], list[TestCase]]:
+    """Test cases for functions taking a single integer argument."""
+
+    def make(rng: random.Random) -> list[TestCase]:
+        def case_for(value: int) -> TestCase:
+            return lambda heap: [value]
+
+        return [case_for(value) for value in values]
+
+    return make

@@ -1,0 +1,185 @@
+"""Cyclist category: the four programs from Brotherston & Gorogiannis.
+
+These exercise multiple data structures inside one function: an explicit
+stack of tree nodes (``aplas-stack``), nested structures (``composite``), a
+list iterator (``iter``) and the Schorr-Waite graph-marking algorithm over
+binary trees (``schorr-waite``).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sll, make_sw_tree, make_tree
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import call, eq, field, i, is_null, ne, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_CATEGORY = "Cyclist"
+
+
+def _register(name, functions, main, predicates, make_tests, documented, **kwargs):
+    if not isinstance(functions, list):
+        functions = [functions]
+    register(
+        BenchmarkProgram(
+            name=f"cyclist/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=predicates,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- aplas-stack: push every tree node onto an explicit SllNode stack (iterative DFS) --------------
+
+aplas_stack = Function(
+    "aplasStack",
+    [("t", "TNode*")],
+    "int",
+    [
+        Assign("count", i(0)),
+        Assign("stack", null()),
+        If(is_null("t"), [Return(i(0))]),
+        # The stack stores tree nodes indirectly: each SllNode's next links the
+        # stack while the tree node being remembered is tracked via a parallel
+        # traversal (the original uses a struct with a payload pointer; the
+        # shape observed by SLING is the same sll).
+        Alloc("top", "SllNode"),
+        Assign("stack", v("top")),
+        Assign("cur", v("t")),
+        While(
+            not_null("cur"),
+            [
+                Assign("count", i(1)),
+                Alloc("frame", "SllNode", {"next": v("stack")}),
+                Assign("stack", v("frame")),
+                Assign("cur", field("cur", "left")),
+            ],
+        ),
+        Return(v("count")),
+    ],
+)
+_register(
+    "aplas-stack",
+    aplas_stack,
+    "aplasStack",
+    predicates_for("sll", "lseg", "tree"),
+    single_structure_cases(make_tree),
+    [spec_with_pred("tree", pre_root="t"), loop_with_pred(("sll", "lseg"), root="stack")],
+)
+
+
+# -- composite: a tree node owning a child list (nested structure operations) ------------------------
+
+composite = Function(
+    "composite",
+    [("t", "TNode*")],
+    "TNode*",
+    [
+        If(is_null("t"), [Alloc("root", "TNode"), Return(v("root"))]),
+        Alloc("leaf", "TNode"),
+        If(
+            is_null(field("t", "left")),
+            [Store(v("t"), "left", v("leaf"))],
+            [Store(v("t"), "right", v("leaf"))],
+        ),
+        Return(v("t")),
+    ],
+)
+_register(
+    "composite4",
+    composite,
+    "composite",
+    predicates_for("tree", "treeseg"),
+    single_structure_cases(make_tree),
+    [spec_with_pred("tree", pre_root="t", post_root="res")],
+)
+
+
+# -- iter: advance an iterator over a singly-linked list ----------------------------------------------
+
+iter_next = Function(
+    "iterNext",
+    [("lst", "SllNode*")],
+    "IterNode*",
+    [
+        Alloc("it", "IterNode", {"list": v("lst"), "current": v("lst")}),
+        Assign("steps", i(0)),
+        While(
+            not_null(field("it", "current")),
+            [
+                Store(v("it"), "current", field(field("it", "current"), "next")),
+                Assign("steps", i(1)),
+            ],
+        ),
+        Return(v("it")),
+    ],
+)
+_register(
+    "iter",
+    iter_next,
+    "iterNext",
+    predicates_for("iter", "sll", "lseg"),
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="lst"), loop_with_pred(("sll", "lseg", "iter"))],
+)
+
+
+# -- schorr-waite: pointer-reversal marking of a binary tree ----------------------------------------------
+
+schorr_waite = Function(
+    "schorrWaite",
+    [("root", "SwNode*")],
+    "SwNode*",
+    [
+        Assign("t", v("root")),
+        Assign("p", null()),
+        While(
+            not_null("t"),
+            [
+                If(
+                    eq(field("t", "mark"), i(0)),
+                    [
+                        # First visit: mark and rotate (left, right, parent).
+                        Store(v("t"), "mark", i(1)),
+                        Assign("l", field("t", "left")),
+                        Store(v("t"), "left", field("t", "right")),
+                        Store(v("t"), "right", v("p")),
+                        Assign("p", v("t")),
+                        If(
+                            not_null("l"),
+                            [Assign("t", v("l"))],
+                            [Assign("t", v("p")), Assign("p", null())],
+                        ),
+                    ],
+                    [
+                        # Already marked: we re-entered via the rotated pointers;
+                        # stop following this branch.
+                        Assign("t", null()),
+                    ],
+                ),
+            ],
+        ),
+        Return(v("root")),
+    ],
+)
+_register(
+    "schorr-waite",
+    schorr_waite,
+    "schorrWaite",
+    predicates_for("swtree"),
+    single_structure_cases(make_sw_tree),
+    [spec_with_pred("swtree", pre_root="root"), loop_with_pred("swtree")],
+)

@@ -1,0 +1,386 @@
+"""DLL category: algorithms over doubly-linked lists (including the paper's ``concat``)."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import (
+    single_structure_cases,
+    structure_and_value_cases,
+    two_structure_cases,
+)
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    pure_post_equality,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_dll
+from repro.lang import (
+    Alloc,
+    Assign,
+    Free,
+    Function,
+    If,
+    Label,
+    Program,
+    Return,
+    Store,
+    While,
+    standard_structs,
+)
+from repro.lang.builder import add, and_, call, field, i, is_null, lt, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("dll")
+_CATEGORY = "DLL"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"dll/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- concat(x, y): the paper's running example (Figure 1) ---------------------------
+
+concat = Function(
+    "concat",
+    [("x", "DllNode*"), ("y", "DllNode*")],
+    "DllNode*",
+    [
+        Label("L1"),
+        If(
+            is_null("x"),
+            [Label("L2"), Return(v("y"))],
+            [
+                Assign("tmp", call("concat", field("x", "next"), v("y"))),
+                Store(v("x"), "next", v("tmp")),
+                If(not_null("tmp"), [Store(v("tmp"), "prev", v("x"))]),
+                Label("L3"),
+                Return(v("x")),
+            ],
+        ),
+    ],
+)
+_register(
+    "concat",
+    concat,
+    two_structure_cases(make_dll),
+    [
+        spec_with_pred("dll", pre_root="x"),
+        spec_with_pred("dll", pre_root="y"),
+        pure_post_equality("res", "x"),
+    ],
+)
+
+
+# -- append(x, y): iterative concatenation --------------------------------------------
+
+append = Function(
+    "append",
+    [("x", "DllNode*"), ("y", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("y")),
+        If(not_null("y"), [Store(v("y"), "prev", v("cur"))]),
+        Return(v("x")),
+    ],
+)
+_register(
+    "append",
+    append,
+    two_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x"), loop_with_pred("dll", root="cur")],
+)
+
+
+# -- meld(x, y): alias of append used by VCDryad (kept separate for the benchmark count) --
+
+meld = Function(
+    "meld",
+    [("x", "DllNode*"), ("y", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        If(is_null("y"), [Return(v("x"))]),
+        Assign("tail", v("x")),
+        While(not_null(field("tail", "next")), [Assign("tail", field("tail", "next"))]),
+        Store(v("tail"), "next", v("y")),
+        Store(v("y"), "prev", v("tail")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "meld",
+    meld,
+    two_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x"), loop_with_pred("dll", root="tail")],
+)
+
+
+# -- delAll(x): free the whole list ------------------------------------------------------
+
+del_all = Function(
+    "delAll",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        While(
+            not_null("x"),
+            [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "delAll",
+    del_all,
+    single_structure_cases(make_dll),
+    [pre_only_pred("dll", pre_root="x"), loop_with_pred("dll", root="x")],
+    uses_free=True,
+)
+
+
+# -- insertFront(x): push a node at the head -----------------------------------------------
+
+insert_front = Function(
+    "insertFront",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        Alloc("node", "DllNode", {"next": v("x")}),
+        If(not_null("x"), [Store(v("x"), "prev", v("node"))]),
+        Return(v("node")),
+    ],
+)
+_register(
+    "insertFront",
+    insert_front,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res")],
+)
+
+
+# -- insertBack(x): append a fresh node at the tail ------------------------------------------
+
+insert_back = Function(
+    "insertBack",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        Alloc("node", "DllNode"),
+        If(is_null("x"), [Return(v("node"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("node")),
+        Store(v("node"), "prev", v("cur")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insertBack",
+    insert_back,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll", root="cur")],
+)
+
+
+# -- midInsert(x, n): insert a node after position n -------------------------------------------
+
+mid_insert = Function(
+    "midInsert",
+    [("x", "DllNode*"), ("n", "int")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Alloc("node", "DllNode"), Return(v("node"))]),
+        Assign("cur", v("x")),
+        Assign("k", i(0)),
+        While(
+            and_(not_null(field("cur", "next")), lt(v("k"), v("n"))),
+            [Assign("cur", field("cur", "next")), Assign("k", add(v("k"), i(1)))],
+        ),
+        Alloc("node", "DllNode", {"next": field("cur", "next"), "prev": v("cur")}),
+        If(not_null(field("cur", "next")), [Store(field("cur", "next"), "prev", v("node"))]),
+        Store(v("cur"), "next", v("node")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "midInsert",
+    mid_insert,
+    structure_and_value_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll", root="x")],
+)
+
+
+# -- midDel(x, n): unlink and free the node after position n -------------------------------------
+
+mid_del = Function(
+    "midDel",
+    [("x", "DllNode*"), ("n", "int")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("cur", v("x")),
+        Assign("k", i(0)),
+        While(
+            and_(not_null(field("cur", "next")), lt(v("k"), v("n"))),
+            [Assign("cur", field("cur", "next")), Assign("k", add(v("k"), i(1)))],
+        ),
+        Assign("victim", field("cur", "next")),
+        If(
+            not_null("victim"),
+            [
+                Store(v("cur"), "next", field("victim", "next")),
+                If(
+                    not_null(field("victim", "next")),
+                    [Store(field("victim", "next"), "prev", v("cur"))],
+                ),
+                Free(v("victim")),
+            ],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "midDel",
+    mid_del,
+    structure_and_value_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll", root="x")],
+    uses_free=True,
+)
+
+
+# -- midDelHd(x): delete the head node -------------------------------------------------------------
+
+mid_del_hd = Function(
+    "midDelHd",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("rest", field("x", "next")),
+        If(not_null("rest"), [Store(v("rest"), "prev", null())]),
+        Free(v("x")),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "midDelHd",
+    mid_del_hd,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+# -- midDelError(x): seeded bug -- forgets to fix the prev pointer of the successor ------------------
+
+mid_del_error = Function(
+    "midDelError",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("rest", field("x", "next")),
+        # BUG (intentional): rest->prev still points at the freed head.
+        Free(v("x")),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "midDelError",
+    mid_del_error,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+# -- midDelStar(x, n): delete every node after position n ---------------------------------------------
+
+mid_del_star = Function(
+    "midDelStar",
+    [("x", "DllNode*"), ("n", "int")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("cur", v("x")),
+        Assign("k", i(0)),
+        While(
+            and_(not_null(field("cur", "next")), lt(v("k"), v("n"))),
+            [Assign("cur", field("cur", "next")), Assign("k", add(v("k"), i(1)))],
+        ),
+        Assign("victim", field("cur", "next")),
+        Store(v("cur"), "next", null()),
+        While(
+            not_null("victim"),
+            [Assign("t", field("victim", "next")), Free(v("victim")), Assign("victim", v("t"))],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "midDelStar",
+    mid_del_star,
+    structure_and_value_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+# -- midDelMid(x): delete the middle node (two-finger traversal) ----------------------------------------
+
+mid_del_mid = Function(
+    "midDelMid",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(is_null(field("x", "next")), [Return(v("x"))]),
+        Assign("slow", v("x")),
+        Assign("fast", v("x")),
+        While(
+            and_(not_null(field("fast", "next")), not_null(field(field("fast", "next"), "next"))),
+            [
+                Assign("slow", field("slow", "next")),
+                Assign("fast", field(field("fast", "next"), "next")),
+            ],
+        ),
+        Assign("victim", field("slow", "next")),
+        If(
+            not_null("victim"),
+            [
+                Store(v("slow"), "next", field("victim", "next")),
+                If(
+                    not_null(field("victim", "next")),
+                    [Store(field("victim", "next"), "prev", v("slow"))],
+                ),
+                Free(v("victim")),
+            ],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "midDelMid",
+    mid_del_mid,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll", root="x")],
+    uses_free=True,
+)

@@ -1,0 +1,270 @@
+"""glib/glist_DLL category: GLib ``GList`` (doubly-linked list) functions."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_glib_dll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, and_, eq, field, gt, i, is_null, lt, ne, not_null, null, sub, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("gdll")
+_CATEGORY = "glib/glist_DLL"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"glist_dll/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+_SPEC = [spec_with_pred("gdll", pre_root="lst")]
+_SPEC_LOOP = [spec_with_pred("gdll", pre_root="lst"), loop_with_pred("gdll")]
+
+
+# -- g_list_find(lst, k): first node holding value k ---------------------------------------------
+
+find = Function(
+    "find",
+    [("lst", "GNode*"), ("k", "int")],
+    "GNode*",
+    [
+        Assign("cur", v("lst")),
+        While(
+            and_(not_null("cur"), ne(field("cur", "data"), v("k"))),
+            [Assign("cur", field("cur", "next"))],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register("find", find, structure_and_value_cases(make_glib_dll, values=(5, 50, 95)), _SPEC_LOOP)
+
+
+# -- g_list_free(lst): free every node --------------------------------------------------------------
+
+free_list = Function(
+    "free",
+    [("lst", "GNode*")],
+    "GNode*",
+    [
+        While(
+            not_null("lst"),
+            [Assign("t", field("lst", "next")), Free(v("lst")), Assign("lst", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "free",
+    free_list,
+    single_structure_cases(make_glib_dll),
+    [pre_only_pred("gdll", pre_root="lst"), loop_with_pred("gdll", root="lst")],
+    uses_free=True,
+)
+
+
+# -- g_list_index(lst, k): position of the first node holding k --------------------------------------
+
+index = Function(
+    "index",
+    [("lst", "GNode*"), ("k", "int")],
+    "int",
+    [
+        Assign("cur", v("lst")),
+        Assign("pos", i(0)),
+        While(
+            and_(not_null("cur"), ne(field("cur", "data"), v("k"))),
+            [Assign("cur", field("cur", "next")), Assign("pos", add(v("pos"), i(1)))],
+        ),
+        If(is_null("cur"), [Return(i(-1))]),
+        Return(v("pos")),
+    ],
+)
+_register("index", index, structure_and_value_cases(make_glib_dll, values=(5, 50, 95)), _SPEC_LOOP)
+
+
+# -- g_list_last(lst): last node --------------------------------------------------------------------------
+
+last = Function(
+    "last",
+    [("lst", "GNode*")],
+    "GNode*",
+    [
+        If(is_null("lst"), [Return(null())]),
+        Assign("cur", v("lst")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Return(v("cur")),
+    ],
+)
+_register("last", last, single_structure_cases(make_glib_dll), _SPEC_LOOP)
+
+
+# -- g_list_length(lst) --------------------------------------------------------------------------------------
+
+length = Function(
+    "length",
+    [("lst", "GNode*")],
+    "int",
+    [
+        Assign("n", i(0)),
+        Assign("cur", v("lst")),
+        While(not_null("cur"), [Assign("cur", field("cur", "next")), Assign("n", add(v("n"), i(1)))]),
+        Return(v("n")),
+    ],
+)
+_register("length", length, single_structure_cases(make_glib_dll), _SPEC_LOOP)
+
+
+# -- g_list_nth(lst, n): n-th node ------------------------------------------------------------------------------
+
+nth = Function(
+    "nth",
+    [("lst", "GNode*"), ("n", "int")],
+    "GNode*",
+    [
+        Assign("cur", v("lst")),
+        While(
+            and_(not_null("cur"), gt(v("n"), i(0))),
+            [Assign("cur", field("cur", "next")), Assign("n", sub(v("n"), i(1)))],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register("nth", nth, structure_and_value_cases(make_glib_dll), _SPEC_LOOP)
+
+
+# -- g_list_nth_data(lst, n): data of the n-th node ------------------------------------------------------------------
+
+nth_data = Function(
+    "nthData",
+    [("lst", "GNode*"), ("n", "int")],
+    "int",
+    [
+        Assign("cur", v("lst")),
+        While(
+            and_(not_null("cur"), gt(v("n"), i(0))),
+            [Assign("cur", field("cur", "next")), Assign("n", sub(v("n"), i(1)))],
+        ),
+        If(is_null("cur"), [Return(i(-1))]),
+        Return(field("cur", "data")),
+    ],
+)
+_register("nthData", nth_data, structure_and_value_cases(make_glib_dll), _SPEC_LOOP)
+
+
+# -- g_list_position(lst, node): index of a given node ---------------------------------------------------------------------
+
+position = Function(
+    "position",
+    [("lst", "GNode*"), ("node", "GNode*")],
+    "int",
+    [
+        Assign("cur", v("lst")),
+        Assign("pos", i(0)),
+        While(
+            and_(not_null("cur"), ne(v("cur"), v("node"))),
+            [Assign("cur", field("cur", "next")), Assign("pos", add(v("pos"), i(1)))],
+        ),
+        If(is_null("cur"), [Return(i(-1))]),
+        Return(v("pos")),
+    ],
+)
+
+
+def _position_cases(rng):
+    from repro.datagen import make_glib_dll as gen
+
+    def case_with_member(heap):
+        head = gen(heap, rng, 5)
+        node = heap.read(heap.read(head, "next"), "next")
+        return [head, node]
+
+    def case_missing(heap):
+        head = gen(heap, rng, 3)
+        other = gen(heap, rng, 1)
+        return [head, other]
+
+    def case_empty(heap):
+        return [0, 0]
+
+    return [case_with_member, case_missing, case_empty]
+
+
+register(
+    BenchmarkProgram(
+        name="glist_dll/position",
+        category=_CATEGORY,
+        program=Program(_STRUCTS, [position]),
+        function="position",
+        predicates=_PREDICATES,
+        make_tests=_position_cases,
+        documented=[spec_with_pred("gdll", pre_root="lst"), loop_with_pred("gdll")],
+    )
+)
+
+
+# -- g_list_prepend(lst, k) ----------------------------------------------------------------------------------------------------
+
+prepend = Function(
+    "prepend",
+    [("lst", "GNode*"), ("k", "int")],
+    "GNode*",
+    [
+        Alloc("node", "GNode", {"data": v("k"), "next": v("lst")}),
+        If(not_null("lst"), [Store(v("lst"), "prev", v("node"))]),
+        Return(v("node")),
+    ],
+)
+_register(
+    "prepend",
+    prepend,
+    structure_and_value_cases(make_glib_dll),
+    [spec_with_pred("gdll", pre_root="lst", post_root="res")],
+)
+
+
+# -- g_list_reverse(lst) -----------------------------------------------------------------------------------------------------------
+
+reverse = Function(
+    "reverse",
+    [("lst", "GNode*")],
+    "GNode*",
+    [
+        Assign("prev", null()),
+        Assign("cur", v("lst")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", v("prev")),
+                Store(v("cur"), "prev", v("next")),
+                Assign("prev", v("cur")),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    single_structure_cases(make_glib_dll),
+    [spec_with_pred("gdll", pre_root="lst"), loop_with_pred("gdll", root="cur")],
+)

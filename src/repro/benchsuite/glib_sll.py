@@ -1,0 +1,454 @@
+"""glib/glist_SLL category: GLib ``GSList`` (singly-linked list) functions.
+
+Includes the ``sortMerge`` program with the typo bug the paper discusses in
+Section 5.4 (returning ``list_next`` instead of ``list->next``, which makes
+the function always return null) and its fixed variant ``sortMergeFixed``
+used by the FBInfer false-positive case study.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    pre_only_pred,
+    pure_post_equality,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_glib_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, and_, call, eq, field, gt, i, is_null, le, lt, ne, not_null, null, sub, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("gsll", "gslseg")
+_CATEGORY = "glib/glist_SLL"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    if not isinstance(functions, list):
+        functions = [functions]
+    register(
+        BenchmarkProgram(
+            name=f"gslist/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+_SPEC = [spec_with_pred("gsll", pre_root="lst")]
+_SPEC_LOOP = [spec_with_pred("gsll", pre_root="lst"), loop_with_pred(("gsll", "gslseg"))]
+
+
+# -- g_slist_append(lst, k): append at the tail ------------------------------------------------
+
+append = Function(
+    "append",
+    [("lst", "GSNode*"), ("k", "int")],
+    "GSNode*",
+    [
+        Alloc("node", "GSNode", {"data": v("k")}),
+        If(is_null("lst"), [Return(v("node"))]),
+        Assign("cur", v("lst")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("node")),
+        Return(v("lst")),
+    ],
+)
+_register("append", append, "append", structure_and_value_cases(make_glib_sll), _SPEC_LOOP)
+
+
+# -- g_slist_concat(a, b) ------------------------------------------------------------------------------
+
+concat = Function(
+    "concat",
+    [("a", "GSNode*"), ("b", "GSNode*")],
+    "GSNode*",
+    [
+        If(is_null("a"), [Return(v("b"))]),
+        Assign("cur", v("a")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("b")),
+        Return(v("a")),
+    ],
+)
+_register(
+    "concat",
+    concat,
+    "concat",
+    two_structure_cases(make_glib_sll),
+    [spec_with_pred("gsll", pre_root="a"), spec_with_pred("gsll", pre_root="b"), loop_with_pred(("gsll", "gslseg"))],
+)
+
+
+# -- g_slist_copy(lst) ------------------------------------------------------------------------------------
+
+copy = Function(
+    "copy",
+    [("lst", "GSNode*")],
+    "GSNode*",
+    [
+        If(is_null("lst"), [Return(null())]),
+        Alloc("node", "GSNode", {"data": field("lst", "data")}),
+        Store(v("node"), "next", call("copy", field("lst", "next"))),
+        Return(v("node")),
+    ],
+)
+_register(
+    "copy",
+    copy,
+    "copy",
+    single_structure_cases(make_glib_sll),
+    [spec_with_pred("gsll", pre_root="lst", post_root="res")],
+)
+
+
+# -- g_slist_find(lst, k) -----------------------------------------------------------------------------------
+
+find = Function(
+    "find",
+    [("lst", "GSNode*"), ("k", "int")],
+    "GSNode*",
+    [
+        Assign("cur", v("lst")),
+        While(
+            and_(not_null("cur"), ne(field("cur", "data"), v("k"))),
+            [Assign("cur", field("cur", "next"))],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register("find", find, "find", structure_and_value_cases(make_glib_sll, values=(5, 50, 95)), _SPEC_LOOP)
+
+
+# -- g_slist_free(lst) ---------------------------------------------------------------------------------------
+
+free_list = Function(
+    "free",
+    [("lst", "GSNode*")],
+    "GSNode*",
+    [
+        While(
+            not_null("lst"),
+            [Assign("t", field("lst", "next")), Free(v("lst")), Assign("lst", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "free",
+    free_list,
+    "free",
+    single_structure_cases(make_glib_sll),
+    [pre_only_pred("gsll", pre_root="lst"), loop_with_pred("gsll", root="lst")],
+    uses_free=True,
+)
+
+
+# -- g_slist_index(lst, k) ----------------------------------------------------------------------------------------
+
+index = Function(
+    "index",
+    [("lst", "GSNode*"), ("k", "int")],
+    "int",
+    [
+        Assign("cur", v("lst")),
+        Assign("pos", i(0)),
+        While(
+            and_(not_null("cur"), ne(field("cur", "data"), v("k"))),
+            [Assign("cur", field("cur", "next")), Assign("pos", add(v("pos"), i(1)))],
+        ),
+        If(is_null("cur"), [Return(i(-1))]),
+        Return(v("pos")),
+    ],
+)
+_register("index", index, "index", structure_and_value_cases(make_glib_sll, values=(5, 50, 95)), _SPEC_LOOP)
+
+
+# -- g_slist_insert_at_pos(lst, n): insert a fresh node at position n ------------------------------------------------
+
+insert_at_pos = Function(
+    "insertAtPos",
+    [("lst", "GSNode*"), ("n", "int")],
+    "GSNode*",
+    [
+        Alloc("node", "GSNode", {"data": i(0)}),
+        If(is_null("lst"), [Return(v("node"))]),
+        If(le(v("n"), i(0)), [Store(v("node"), "next", v("lst")), Return(v("node"))]),
+        Assign("cur", v("lst")),
+        Assign("k", i(1)),
+        While(
+            and_(not_null(field("cur", "next")), lt(v("k"), v("n"))),
+            [Assign("cur", field("cur", "next")), Assign("k", add(v("k"), i(1)))],
+        ),
+        Store(v("node"), "next", field("cur", "next")),
+        Store(v("cur"), "next", v("node")),
+        Return(v("lst")),
+    ],
+)
+_register(
+    "insertAtPos",
+    insert_at_pos,
+    "insertAtPos",
+    structure_and_value_cases(make_glib_sll),
+    [spec_with_pred("gsll", pre_root="lst", post_root="res"), loop_with_pred(("gsll", "gslseg"))],
+)
+
+
+# -- g_slist_last(lst) ------------------------------------------------------------------------------------------------
+
+last = Function(
+    "last",
+    [("lst", "GSNode*")],
+    "GSNode*",
+    [
+        If(is_null("lst"), [Return(null())]),
+        Assign("cur", v("lst")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Return(v("cur")),
+    ],
+)
+_register("last", last, "last", single_structure_cases(make_glib_sll), _SPEC_LOOP)
+
+
+# -- g_slist_length(lst) -----------------------------------------------------------------------------------------------
+
+length = Function(
+    "length",
+    [("lst", "GSNode*")],
+    "int",
+    [
+        Assign("n", i(0)),
+        Assign("cur", v("lst")),
+        While(not_null("cur"), [Assign("cur", field("cur", "next")), Assign("n", add(v("n"), i(1)))]),
+        Return(v("n")),
+    ],
+)
+_register("length", length, "length", single_structure_cases(make_glib_sll), _SPEC_LOOP)
+
+
+# -- g_slist_nth(lst, n) ------------------------------------------------------------------------------------------------
+
+nth = Function(
+    "nth",
+    [("lst", "GSNode*"), ("n", "int")],
+    "GSNode*",
+    [
+        Assign("cur", v("lst")),
+        While(
+            and_(not_null("cur"), gt(v("n"), i(0))),
+            [Assign("cur", field("cur", "next")), Assign("n", sub(v("n"), i(1)))],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register("nth", nth, "nth", structure_and_value_cases(make_glib_sll), _SPEC_LOOP)
+
+
+# -- g_slist_position(lst, node) ------------------------------------------------------------------------------------------
+
+position = Function(
+    "position",
+    [("lst", "GSNode*"), ("node", "GSNode*")],
+    "int",
+    [
+        Assign("cur", v("lst")),
+        Assign("pos", i(0)),
+        While(
+            and_(not_null("cur"), ne(v("cur"), v("node"))),
+            [Assign("cur", field("cur", "next")), Assign("pos", add(v("pos"), i(1)))],
+        ),
+        If(is_null("cur"), [Return(i(-1))]),
+        Return(v("pos")),
+    ],
+)
+
+
+def _position_cases(rng):
+    def case_with_member(heap):
+        head = make_glib_sll(heap, rng, 5)
+        node = heap.read(heap.read(head, "next"), "next")
+        return [head, node]
+
+    def case_missing(heap):
+        return [make_glib_sll(heap, rng, 3), make_glib_sll(heap, rng, 1)]
+
+    def case_empty(heap):
+        return [0, 0]
+
+    return [case_with_member, case_missing, case_empty]
+
+
+_register(
+    "position",
+    position,
+    "position",
+    _position_cases,
+    [spec_with_pred("gsll", pre_root="lst"), loop_with_pred(("gsll", "gslseg"))],
+)
+
+
+# -- g_slist_prepend(lst, k) --------------------------------------------------------------------------------------------------
+
+prepend = Function(
+    "prepend",
+    [("lst", "GSNode*"), ("k", "int")],
+    "GSNode*",
+    [
+        Alloc("node", "GSNode", {"data": v("k"), "next": v("lst")}),
+        Return(v("node")),
+    ],
+)
+_register(
+    "prepend",
+    prepend,
+    "prepend",
+    structure_and_value_cases(make_glib_sll),
+    [spec_with_pred("gsll", pre_root="lst", post_root="res")],
+)
+
+
+# -- g_slist_remove(lst, k): unlink and free the first node holding k ------------------------------------------------------------
+
+remove = Function(
+    "rm",
+    [("lst", "GSNode*"), ("k", "int")],
+    "GSNode*",
+    [
+        If(is_null("lst"), [Return(null())]),
+        If(
+            eq(field("lst", "data"), v("k")),
+            [Assign("rest", field("lst", "next")), Free(v("lst")), Return(v("rest"))],
+        ),
+        Assign("cur", v("lst")),
+        While(
+            and_(not_null(field("cur", "next")), ne(field(field("cur", "next"), "data"), v("k"))),
+            [Assign("cur", field("cur", "next"))],
+        ),
+        If(
+            not_null(field("cur", "next")),
+            [
+                Assign("victim", field("cur", "next")),
+                Store(v("cur"), "next", field("victim", "next")),
+                Free(v("victim")),
+            ],
+        ),
+        Return(v("lst")),
+    ],
+)
+_register(
+    "rm",
+    remove,
+    "rm",
+    structure_and_value_cases(make_glib_sll, values=(5, 50, 95)),
+    [spec_with_pred("gsll", pre_root="lst"), loop_with_pred(("gsll", "gslseg"))],
+    uses_free=True,
+)
+
+
+# -- g_slist_reverse(lst) -----------------------------------------------------------------------------------------------------------
+
+reverse = Function(
+    "reverse",
+    [("lst", "GSNode*")],
+    "GSNode*",
+    [
+        Assign("prev", null()),
+        Assign("cur", v("lst")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", v("prev")),
+                Assign("prev", v("cur")),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    "reverse",
+    single_structure_cases(make_glib_sll),
+    [spec_with_pred("gsll", pre_root="lst"), loop_with_pred(("gsll", "gslseg"), root="cur")],
+)
+
+
+# -- sortMerge(a, b): merge two sorted lists.  The buggy variant reproduces the typo of Section 5.4 --------------------------------
+
+
+def _sort_merge(name: str, buggy: bool) -> Function:
+    from repro.lang.builder import call
+
+    merge_tail = (
+        # BUG (intentional, mirrors the glib typo): returns the local
+        # ``list_next`` variable, which is never re-assigned from null, so
+        # the function always returns null.
+        [Assign("list_next", null()), Return(v("list_next"))]
+        if buggy
+        else [Return(v("head"))]
+    )
+    return Function(
+        name,
+        [("a", "GSNode*"), ("b", "GSNode*")],
+        "GSNode*",
+        [
+            If(is_null("a"), [Return(v("b"))]),
+            If(is_null("b"), [Return(v("a"))]),
+            If(
+                le(field("a", "data"), field("b", "data")),
+                [Assign("head", v("a")), Assign("a", field("a", "next"))],
+                [Assign("head", v("b")), Assign("b", field("b", "next"))],
+            ),
+            Assign("tail", v("head")),
+            While(
+                and_(not_null("a"), not_null("b")),
+                [
+                    If(
+                        le(field("a", "data"), field("b", "data")),
+                        [Store(v("tail"), "next", v("a")), Assign("tail", v("a")), Assign("a", field("a", "next"))],
+                        [Store(v("tail"), "next", v("b")), Assign("tail", v("b")), Assign("b", field("b", "next"))],
+                    ),
+                ],
+            ),
+            If(is_null("a"), [Store(v("tail"), "next", v("b"))], [Store(v("tail"), "next", v("a"))]),
+            *merge_tail,
+        ],
+    )
+
+
+_register(
+    "sortMerge",
+    _sort_merge("sortMerge", buggy=True),
+    "sortMerge",
+    two_structure_cases(make_glib_sll),
+    [
+        spec_with_pred("gsll", pre_root="a"),
+        # The documented postcondition describes the merged list rooted at
+        # ``res``; the buggy version returns null, so SLING reports res = nil
+        # instead (the Section 5.4 case study checks exactly this).
+        spec_with_pred("gsll", post_root="res"),
+    ],
+)
+
+_register(
+    "sortMergeFixed",
+    _sort_merge("sortMergeFixed", buggy=False),
+    "sortMergeFixed",
+    two_structure_cases(make_glib_sll),
+    [
+        spec_with_pred("gsll", pre_root="a"),
+        spec_with_pred("gsll", post_root="res"),
+        loop_with_pred(("gsll", "gslseg")),
+    ],
+)

@@ -1,0 +1,229 @@
+"""GRASShopper_DLL category: doubly-linked list programs from the GRASShopper suite."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_dll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, field, i, is_null, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("dll")
+_CATEGORY = "GRASShopper_DLL"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"gh_dll/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+_SPEC = [spec_with_pred("dll", pre_root="x")]
+_SPEC_LOOP = [spec_with_pred("dll", pre_root="x"), loop_with_pred("dll")]
+
+
+concat = Function(
+    "concat",
+    [("x", "DllNode*"), ("y", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("y")),
+        If(not_null("y"), [Store(v("y"), "prev", v("cur"))]),
+        Return(v("x")),
+    ],
+)
+_register("concat", concat, two_structure_cases(make_dll), _SPEC_LOOP)
+
+
+copy = Function(
+    "copy",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        Assign("head", null()),
+        Assign("tail", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Alloc("node", "DllNode", {"prev": v("tail")}),
+                If(
+                    is_null("head"),
+                    [Assign("head", v("node"))],
+                    [Store(v("tail"), "next", v("node"))],
+                ),
+                Assign("tail", v("node")),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("head")),
+    ],
+)
+_register(
+    "copy",
+    copy,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll")],
+)
+
+
+dispose = Function(
+    "dispose",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        While(
+            not_null("x"),
+            [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "dispose",
+    dispose,
+    single_structure_cases(make_dll),
+    [pre_only_pred("dll", pre_root="x"), loop_with_pred("dll", root="x")],
+    uses_free=True,
+)
+
+
+filter_list = Function(
+    "filter",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("victim", field("cur", "next")),
+                If(
+                    not_null("victim"),
+                    [
+                        Store(v("cur"), "next", field("victim", "next")),
+                        If(
+                            not_null(field("victim", "next")),
+                            [Store(field("victim", "next"), "prev", v("cur"))],
+                        ),
+                        Free(v("victim")),
+                    ],
+                ),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "filter",
+    filter_list,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x"), loop_with_pred("dll")],
+    uses_free=True,
+)
+
+
+insert = Function(
+    "insert",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        Alloc("node", "DllNode"),
+        If(is_null("x"), [Return(v("node"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("node")),
+        Store(v("node"), "prev", v("cur")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll")],
+)
+
+
+remove = Function(
+    "rm",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("rest", field("x", "next")),
+        If(not_null("rest"), [Store(v("rest"), "prev", null())]),
+        Free(v("x")),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "rm",
+    remove,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+reverse = Function(
+    "reverse",
+    [("x", "DllNode*")],
+    "DllNode*",
+    [
+        Assign("prev", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", v("prev")),
+                Store(v("cur"), "prev", v("next")),
+                Assign("prev", v("cur")),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    single_structure_cases(make_dll),
+    [spec_with_pred("dll", pre_root="x", post_root="res"), loop_with_pred("dll", root="cur")],
+)
+
+
+traverse = Function(
+    "traverse",
+    [("x", "DllNode*")],
+    "int",
+    [
+        Assign("n", i(0)),
+        Assign("cur", v("x")),
+        While(not_null("cur"), [Assign("cur", field("cur", "next")), Assign("n", add(v("n"), i(1)))]),
+        Return(v("n")),
+    ],
+)
+_register("traverse", traverse, single_structure_cases(make_dll), _SPEC_LOOP)

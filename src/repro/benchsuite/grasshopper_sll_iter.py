@@ -1,0 +1,221 @@
+"""GRASShopper_SLL (Iterative) category: loop-based singly-linked list programs."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, eq, field, i, is_null, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("sll", "lseg")
+_CATEGORY = "GRASShopper_SLL (Iterative)"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"gh_sll_iter/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+_SPEC = [spec_with_pred(("sll", "lseg"), pre_root="x")]
+_SPEC_LOOP = [spec_with_pred(("sll", "lseg"), pre_root="x"), loop_with_pred(("sll", "lseg"))]
+
+
+concat = Function(
+    "concat",
+    [("x", "SllNode*"), ("y", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("y")),
+        Return(v("x")),
+    ],
+)
+_register("concat", concat, two_structure_cases(make_sll), _SPEC_LOOP)
+
+
+copy = Function(
+    "copy",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Assign("head", null()),
+        Assign("tail", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Alloc("node", "SllNode"),
+                If(
+                    is_null("head"),
+                    [Assign("head", v("node")), Assign("tail", v("node"))],
+                    [Store(v("tail"), "next", v("node")), Assign("tail", v("node"))],
+                ),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("head")),
+    ],
+)
+_register(
+    "copy",
+    copy,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res"), loop_with_pred(("sll", "lseg"))],
+)
+
+
+dispose = Function(
+    "dispose",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        While(
+            not_null("x"),
+            [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "dispose",
+    dispose,
+    single_structure_cases(make_sll),
+    [pre_only_pred(("sll", "lseg"), pre_root="x"), loop_with_pred(("sll", "lseg"), root="x")],
+    uses_free=True,
+)
+
+
+# filter(x): drop (and free) every second node of the list.
+filter_list = Function(
+    "filter",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("victim", field("cur", "next")),
+                If(
+                    not_null("victim"),
+                    [
+                        Store(v("cur"), "next", field("victim", "next")),
+                        Free(v("victim")),
+                    ],
+                ),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "filter",
+    filter_list,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x"), loop_with_pred(("sll", "lseg"))],
+    uses_free=True,
+)
+
+
+insert = Function(
+    "insert",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Alloc("node", "SllNode"),
+        If(is_null("x"), [Return(v("node"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("node")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res"), loop_with_pred(("sll", "lseg"))],
+)
+
+
+remove = Function(
+    "rm",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("rest", field("x", "next")),
+        Free(v("x")),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "rm",
+    remove,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+reverse = Function(
+    "reverse",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Assign("prev", null()),
+        While(
+            not_null("x"),
+            [
+                Assign("next", field("x", "next")),
+                Store(v("x"), "next", v("prev")),
+                Assign("prev", v("x")),
+                Assign("x", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res"), loop_with_pred(("sll", "lseg"))],
+)
+
+
+traverse = Function(
+    "traverse",
+    [("x", "SllNode*")],
+    "int",
+    [
+        Assign("n", i(0)),
+        Assign("cur", v("x")),
+        While(not_null("cur"), [Assign("cur", field("cur", "next")), Assign("n", add(v("n"), i(1)))]),
+        Return(v("n")),
+    ],
+)
+_register("traverse", traverse, single_structure_cases(make_sll), _SPEC_LOOP)

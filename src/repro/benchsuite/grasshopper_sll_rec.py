@@ -1,0 +1,191 @@
+"""GRASShopper_SLL (Recursive) category: recursion-based singly-linked list programs."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, standard_structs
+from repro.lang.builder import add, call, field, i, is_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("sll", "lseg")
+_CATEGORY = "GRASShopper_SLL (Recursive)"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"gh_sll_rec/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+_SPEC = [spec_with_pred(("sll", "lseg"), pre_root="x")]
+
+
+concat = Function(
+    "concat",
+    [("x", "SllNode*"), ("y", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Store(v("x"), "next", call("concat", field("x", "next"), v("y"))),
+        Return(v("x")),
+    ],
+)
+_register("concat", concat, two_structure_cases(make_sll), _SPEC)
+
+
+copy = Function(
+    "copy",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Alloc("node", "SllNode", {"next": call("copy", field("x", "next"))}),
+        Return(v("node")),
+    ],
+)
+_register(
+    "copy",
+    copy,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+)
+
+
+# dispose(x): recursive deallocation.  After the call returns, the caller's
+# pointer still refers to the freed cells, which is exactly the trace
+# artefact the paper blames for spurious invariants (bold rows of Table 1).
+dispose = Function(
+    "dispose",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("ignore", call("dispose", field("x", "next"))),
+        Free(v("x")),
+        Return(null()),
+    ],
+)
+_register(
+    "dispose",
+    dispose,
+    single_structure_cases(make_sll),
+    [pre_only_pred(("sll", "lseg"), pre_root="x")],
+    uses_free=True,
+)
+
+
+filter_list = Function(
+    "filter",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("rest", call("filter", field("x", "next"))),
+        If(
+            is_null("rest"),
+            [Store(v("x"), "next", null()), Return(v("x"))],
+        ),
+        # Drop the current node in front of a kept one (and free it), keeping
+        # roughly every other node, like the iterative variant.
+        Store(v("x"), "next", field("rest", "next")),
+        Store(v("rest"), "next", v("x")),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "filter",
+    filter_list,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+)
+
+
+insert = Function(
+    "insert",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Alloc("node", "SllNode"), Return(v("node"))]),
+        Store(v("x"), "next", call("insert", field("x", "next"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+)
+
+
+remove = Function(
+    "rm",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(
+            is_null(field("x", "next")),
+            [Free(v("x")), Return(null())],
+        ),
+        Store(v("x"), "next", call("rm", field("x", "next"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "rm",
+    remove,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+reverse = Function(
+    "reverse",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(is_null(field("x", "next")), [Return(v("x"))]),
+        Assign("rest", call("reverse", field("x", "next"))),
+        Store(field("x", "next"), "next", v("x")),
+        Store(v("x"), "next", null()),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    single_structure_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x", post_root="res")],
+)
+
+
+traverse = Function(
+    "traverse",
+    [("x", "SllNode*")],
+    "int",
+    [
+        If(is_null("x"), [Return(i(0))]),
+        Return(add(i(1), call("traverse", field("x", "next")))),
+    ],
+)
+_register("traverse", traverse, single_structure_cases(make_sll), _SPEC)

@@ -1,0 +1,363 @@
+"""GRASShopper_SortedList category: sorted-list programs from the GRASShopper suite."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases, two_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sorted_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, and_, call, eq, field, ge, i, is_null, le, lt, mul, ne, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("sls", "slseg", "slldata", "slsegdata")
+_CATEGORY = "GRASShopper_SortedList"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    if not isinstance(functions, list):
+        functions = [functions]
+    register(
+        BenchmarkProgram(
+            name=f"gh_sorted/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+_SPEC = [spec_with_pred(("sls", "slldata"), pre_root="x")]
+_SPEC_LOOP = [spec_with_pred(("sls", "slldata"), pre_root="x"), loop_with_pred(("sls", "slseg", "slldata", "slsegdata"))]
+
+
+concat = Function(
+    "concat",
+    [("x", "SNode*"), ("y", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Store(v("cur"), "next", v("y")),
+        Return(v("x")),
+    ],
+)
+_register("concat", concat, "concat", two_structure_cases(make_sorted_sll), _SPEC_LOOP)
+
+
+copy = Function(
+    "copy",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Alloc("node", "SNode", {"data": field("x", "data"), "next": call("copy", field("x", "next"))}),
+        Return(v("node")),
+    ],
+)
+_register(
+    "copy",
+    copy,
+    "copy",
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred("sls", pre_root="x", post_root="res")],
+)
+
+
+dispose = Function(
+    "dispose",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        While(
+            not_null("x"),
+            [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "dispose",
+    dispose,
+    "dispose",
+    single_structure_cases(make_sorted_sll),
+    [pre_only_pred("sls", pre_root="x"), loop_with_pred(("sls", "slldata"), root="x")],
+    uses_free=True,
+)
+
+
+# filter(x): drop (and free) every element smaller than 50, preserving sortedness.
+filter_list = Function(
+    "filter",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        While(
+            and_(not_null("x"), lt(field("x", "data"), i(50))),
+            [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))],
+        ),
+        If(is_null("x"), [Return(null())]),
+        Assign("cur", v("x")),
+        While(
+            not_null(field("cur", "next")),
+            [
+                If(
+                    lt(field(field("cur", "next"), "data"), i(50)),
+                    [
+                        Assign("victim", field("cur", "next")),
+                        Store(v("cur"), "next", field("victim", "next")),
+                        Free(v("victim")),
+                    ],
+                    [Assign("cur", field("cur", "next"))],
+                ),
+            ],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "filter",
+    filter_list,
+    "filter",
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred("sls", pre_root="x"), loop_with_pred(("sls", "slseg", "slsegdata"))],
+    uses_free=True,
+)
+
+
+insert = Function(
+    "insert",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(is_null("x"), [Alloc("node", "SNode", {"data": v("k")}), Return(v("node"))]),
+        If(
+            ge(field("x", "data"), v("k")),
+            [Alloc("node", "SNode", {"data": v("k"), "next": v("x")}), Return(v("node"))],
+        ),
+        Store(v("x"), "next", call("insert", field("x", "next"), v("k"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    "insert",
+    structure_and_value_cases(make_sorted_sll, values=(5, 55, 200)),
+    [spec_with_pred("sls", pre_root="x", post_root="res")],
+)
+
+
+reverse = Function(
+    "reverse",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        Assign("prev", null()),
+        While(
+            not_null("x"),
+            [
+                Assign("next", field("x", "next")),
+                Store(v("x"), "next", v("prev")),
+                Assign("prev", v("x")),
+                Assign("x", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    "reverse",
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred(("sls", "slldata"), pre_root="x", post_root="res"), loop_with_pred(("sls", "slldata", "slsegdata"))],
+)
+
+
+remove = Function(
+    "rm",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(
+            eq(field("x", "data"), v("k")),
+            [Assign("rest", field("x", "next")), Free(v("x")), Return(v("rest"))],
+        ),
+        Store(v("x"), "next", call("rm", field("x", "next"), v("k"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "rm",
+    remove,
+    "rm",
+    structure_and_value_cases(make_sorted_sll, values=(5, 55, 200)),
+    [spec_with_pred("sls", pre_root="x", post_root="res")],
+    uses_free=True,
+)
+
+
+split = Function(
+    "split",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(ge(field("x", "data"), v("k")), [Return(v("x"))]),
+        Return(call("split", field("x", "next"), v("k"))),
+    ],
+)
+_register(
+    "split",
+    split,
+    "split",
+    structure_and_value_cases(make_sorted_sll, values=(5, 55, 200)),
+    [spec_with_pred("sls", pre_root="x")],
+)
+
+
+traverse = Function(
+    "traverse",
+    [("x", "SNode*")],
+    "int",
+    [
+        Assign("n", i(0)),
+        Assign("cur", v("x")),
+        While(not_null("cur"), [Assign("cur", field("cur", "next")), Assign("n", add(v("n"), i(1)))]),
+        Return(v("n")),
+    ],
+)
+_register("traverse", traverse, "traverse", single_structure_cases(make_sorted_sll), _SPEC_LOOP)
+
+
+merge = Function(
+    "merge",
+    [("x", "SNode*"), ("y", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        If(is_null("y"), [Return(v("x"))]),
+        If(
+            le(field("x", "data"), field("y", "data")),
+            [Store(v("x"), "next", call("merge", field("x", "next"), v("y"))), Return(v("x"))],
+        ),
+        Store(v("y"), "next", call("merge", v("x"), field("y", "next"))),
+        Return(v("y")),
+    ],
+)
+_register(
+    "merge",
+    merge,
+    "merge",
+    two_structure_cases(make_sorted_sll),
+    [spec_with_pred("sls", pre_root="x"), spec_with_pred("sls", pre_root="y"), post_only_pred("sls")],
+)
+
+
+double_all = Function(
+    "doubleAll",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Store(v("cur"), "data", mul(i(2), field("cur", "data"))),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("x")),
+    ],
+)
+_register(
+    "doubleAll",
+    double_all,
+    "doubleAll",
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred(("sls", "slldata"), pre_root="x", post_root="res"), loop_with_pred(("sls", "slseg", "slsegdata"))],
+)
+
+
+pairwise_sum = Function(
+    "pairwiseSum",
+    [("x", "SNode*"), ("y", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        If(is_null("y"), [Return(null())]),
+        Alloc(
+            "node",
+            "SNode",
+            {
+                "data": add(field("x", "data"), field("y", "data")),
+                "next": call("pairwiseSum", field("x", "next"), field("y", "next")),
+            },
+        ),
+        Return(v("node")),
+    ],
+)
+_register(
+    "pairwiseSum",
+    pairwise_sum,
+    "pairwiseSum",
+    two_structure_cases(make_sorted_sll, size_pairs=((0, 2), (3, 3), (10, 10))),
+    [spec_with_pred("sls", pre_root="x"), post_only_pred(("sls", "slldata"))],
+)
+
+
+insertion_sort = Function(
+    "insertionSort",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        Assign("out", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", null()),
+                Assign("out", call("insert_node", v("out"), v("cur"))),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("out")),
+    ],
+)
+
+insert_node = Function(
+    "insert_node",
+    [("lst", "SNode*"), ("node", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("lst"), [Return(v("node"))]),
+        If(
+            ge(field("lst", "data"), field("node", "data")),
+            [Store(v("node"), "next", v("lst")), Return(v("node"))],
+        ),
+        Store(v("lst"), "next", call("insert_node", field("lst", "next"), v("node"))),
+        Return(v("lst")),
+    ],
+)
+_register(
+    "insertionSort",
+    [insertion_sort, insert_node],
+    "insertionSort",
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred(("sls", "slldata"), pre_root="x"), post_only_pred("sls"), loop_with_pred(("sls", "slldata", "slsegdata"))],
+)

@@ -1,0 +1,80 @@
+"""Memory Region category: doubly-linked lists of sized memory chunks.
+
+The original benchmark (``memRegionDllOps``) exercises several operations on
+a Linux-style memory-region list in one function; we mirror that structure
+with a single driver that inserts, splits and coalesces chunks.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_mem_chunk_list
+from repro.lang import Alloc, Assign, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, field, ge, i, is_null, not_null, null, sub, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("memdll")
+_CATEGORY = "Memory Region"
+
+# memRegionDllOps(region): walk the chunk list; split every chunk larger than
+# 64 bytes into two chunks and accumulate the total size.
+mem_region_dll_ops = Function(
+    "memRegionDllOps",
+    [("region", "MemChunk*")],
+    "int",
+    [
+        Assign("total", i(0)),
+        Assign("cur", v("region")),
+        While(
+            not_null("cur"),
+            [
+                Assign("size", field("cur", "size")),
+                Assign("total", add(v("total"), v("size"))),
+                If(
+                    ge(v("size"), i(128)),
+                    [
+                        Alloc(
+                            "half",
+                            "MemChunk",
+                            {
+                                "size": sub(v("size"), i(64)),
+                                "next": field("cur", "next"),
+                                "prev": v("cur"),
+                            },
+                        ),
+                        If(
+                            not_null(field("cur", "next")),
+                            [Store(field("cur", "next"), "prev", v("half"))],
+                        ),
+                        Store(v("cur"), "next", v("half")),
+                        Store(v("cur"), "size", i(64)),
+                    ],
+                ),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("total")),
+    ],
+)
+
+register(
+    BenchmarkProgram(
+        name="memregion/memRegionDllOps",
+        category=_CATEGORY,
+        program=Program(_STRUCTS, [mem_region_dll_ops]),
+        function="memRegionDllOps",
+        predicates=_PREDICATES,
+        make_tests=single_structure_cases(make_mem_chunk_list),
+        documented=[
+            spec_with_pred("memdll", pre_root="region"),
+            loop_with_pred("memdll"),
+        ],
+    )
+)

@@ -1,0 +1,166 @@
+"""OpenBSD Queue category: SIMPLEQ-style queues with a head/tail header record."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import no_input_cases, single_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    post_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_queue
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, standard_structs
+from repro.lang.builder import eq, field, is_null, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("queue", "qlist", "qlseg")
+_CATEGORY = "OpenBSD Queue"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"queue/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- init(): allocate an empty queue header ---------------------------------------------------
+
+init = Function(
+    "init",
+    [],
+    "Queue*",
+    [
+        Alloc("q", "Queue"),
+        Return(v("q")),
+    ],
+)
+_register("init", init, no_input_cases(), [post_only_pred("queue", post_root="res")])
+
+
+# -- insertHd(q): push a fresh node at the head -------------------------------------------------
+
+insert_head = Function(
+    "insertHd",
+    [("q", "Queue*")],
+    "Queue*",
+    [
+        Alloc("node", "QNode", {"next": field("q", "head")}),
+        Store(v("q"), "head", v("node")),
+        If(is_null(field("q", "tail")), [Store(v("q"), "tail", v("node"))]),
+        Return(v("q")),
+    ],
+)
+_register(
+    "insertHd",
+    insert_head,
+    single_structure_cases(make_queue),
+    [spec_with_pred("queue", pre_root="q", post_root="res")],
+)
+
+
+# -- insertTl(q): append a fresh node at the tail ---------------------------------------------------
+
+insert_tail = Function(
+    "insertTl",
+    [("q", "Queue*")],
+    "Queue*",
+    [
+        Alloc("node", "QNode"),
+        If(
+            is_null(field("q", "tail")),
+            [Store(v("q"), "head", v("node")), Store(v("q"), "tail", v("node"))],
+            [Store(field("q", "tail"), "next", v("node")), Store(v("q"), "tail", v("node"))],
+        ),
+        Return(v("q")),
+    ],
+)
+_register(
+    "insertTl",
+    insert_tail,
+    single_structure_cases(make_queue),
+    [spec_with_pred("queue", pre_root="q", post_root="res")],
+)
+
+
+# -- insertAfter(q): insert a fresh node after the head element --------------------------------------
+
+insert_after = Function(
+    "insertAfter",
+    [("q", "Queue*")],
+    "Queue*",
+    [
+        If(is_null(field("q", "head")), [Return(v("q"))]),
+        Assign("first", field("q", "head")),
+        Alloc("node", "QNode", {"next": field("first", "next")}),
+        Store(v("first"), "next", v("node")),
+        If(eq(field("q", "tail"), v("first")), [Store(v("q"), "tail", v("node"))]),
+        Return(v("q")),
+    ],
+)
+_register(
+    "insertAfter",
+    insert_after,
+    single_structure_cases(make_queue),
+    [spec_with_pred("queue", pre_root="q", post_root="res")],
+)
+
+
+# -- rmHd(q): unlink and free the head element -----------------------------------------------------------
+
+remove_head = Function(
+    "rmHd",
+    [("q", "Queue*")],
+    "Queue*",
+    [
+        Assign("first", field("q", "head")),
+        If(is_null("first"), [Return(v("q"))]),
+        Store(v("q"), "head", field("first", "next")),
+        If(is_null(field("q", "head")), [Store(v("q"), "tail", null())]),
+        Free(v("first")),
+        Return(v("q")),
+    ],
+)
+_register(
+    "rmHd",
+    remove_head,
+    single_structure_cases(make_queue),
+    [spec_with_pred("queue", pre_root="q", post_root="res")],
+    uses_free=True,
+)
+
+
+# -- rmAfter(q): unlink and free the element after the head --------------------------------------------------
+
+remove_after = Function(
+    "rmAfter",
+    [("q", "Queue*")],
+    "Queue*",
+    [
+        Assign("first", field("q", "head")),
+        If(is_null("first"), [Return(v("q"))]),
+        Assign("victim", field("first", "next")),
+        If(is_null("victim"), [Return(v("q"))]),
+        Store(v("first"), "next", field("victim", "next")),
+        If(eq(field("q", "tail"), v("victim")), [Store(v("q"), "tail", v("first"))]),
+        Free(v("victim")),
+        Return(v("q")),
+    ],
+)
+_register(
+    "rmAfter",
+    remove_after,
+    single_structure_cases(make_queue),
+    [spec_with_pred("queue", pre_root="q", post_root="res")],
+    uses_free=True,
+)

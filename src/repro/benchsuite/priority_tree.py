@@ -1,0 +1,156 @@
+"""Priority Tree category: max-heap-ordered binary trees."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_max_heap_tree
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, standard_structs
+from repro.lang.builder import call, eq, field, ge, is_null, lt, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("pheap")
+_CATEGORY = "Priority Tree"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"priority/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- insert(t, k): push a value down the left spine, keeping the heap order ----------------------
+
+insert = Function(
+    "insert",
+    [("t", "PNode*"), ("k", "int")],
+    "PNode*",
+    [
+        If(is_null("t"), [Alloc("node", "PNode", {"data": v("k")}), Return(v("node"))]),
+        If(
+            ge(v("k"), field("t", "data")),
+            [
+                Alloc("node", "PNode", {"data": v("k"), "left": v("t")}),
+                Return(v("node")),
+            ],
+        ),
+        Store(v("t"), "left", call("insert", field("t", "left"), v("k"))),
+        Return(v("t")),
+    ],
+)
+_register(
+    "insert",
+    [insert],
+    "insert",
+    structure_and_value_cases(make_max_heap_tree, values=(3, 500, 2000)),
+    [spec_with_pred("pheap", pre_root="t", post_root="res")],
+)
+
+
+# -- find(t, k): search a max-heap, pruning subtrees whose root is smaller than k -------------------
+
+find = Function(
+    "find",
+    [("t", "PNode*"), ("k", "int")],
+    "PNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        If(lt(field("t", "data"), v("k")), [Return(null())]),
+        If(eq(field("t", "data"), v("k")), [Return(v("t"))]),
+        Assign("l", call("find", field("t", "left"), v("k"))),
+        If(is_null("l"), [Return(call("find", field("t", "right"), v("k")))]),
+        Return(v("l")),
+    ],
+)
+_register(
+    "find",
+    [find],
+    "find",
+    structure_and_value_cases(make_max_heap_tree, values=(3, 500, 2000)),
+    [spec_with_pred("pheap", pre_root="t")],
+)
+
+
+# -- del(t): delete the maximum (the root), promoting the larger child ---------------------------------
+
+delete_max = Function(
+    "del",
+    [("t", "PNode*")],
+    "PNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        Assign("l", field("t", "left")),
+        Assign("r", field("t", "right")),
+        Free(v("t")),
+        If(is_null("l"), [Return(v("r"))]),
+        If(is_null("r"), [Return(v("l"))]),
+        If(
+            ge(field("l", "data"), field("r", "data")),
+            [Store(v("l"), "right", call("meldHeaps", field("l", "right"), v("r"))), Return(v("l"))],
+        ),
+        Store(v("r"), "left", call("meldHeaps", v("l"), field("r", "left"))),
+        Return(v("r")),
+    ],
+)
+
+meld_heaps = Function(
+    "meldHeaps",
+    [("a", "PNode*"), ("b", "PNode*")],
+    "PNode*",
+    [
+        If(is_null("a"), [Return(v("b"))]),
+        If(is_null("b"), [Return(v("a"))]),
+        If(
+            ge(field("a", "data"), field("b", "data")),
+            [Store(v("a"), "right", call("meldHeaps", field("a", "right"), v("b"))), Return(v("a"))],
+        ),
+        Store(v("b"), "left", call("meldHeaps", v("a"), field("b", "left"))),
+        Return(v("b")),
+    ],
+)
+_register(
+    "del",
+    [delete_max, meld_heaps],
+    "del",
+    single_structure_cases(make_max_heap_tree),
+    [spec_with_pred("pheap", pre_root="t")],
+    uses_free=True,
+)
+
+
+# -- rmRoot(t): remove the root without freeing it, returning the melded children -----------------------
+
+rm_root = Function(
+    "rmRoot",
+    [("t", "PNode*")],
+    "PNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        Assign("l", field("t", "left")),
+        Assign("r", field("t", "right")),
+        Store(v("t"), "left", null()),
+        Store(v("t"), "right", null()),
+        Return(call("meldHeaps", v("l"), v("r"))),
+    ],
+)
+_register(
+    "rmRoot",
+    [rm_root, meld_heaps],
+    "rmRoot",
+    single_structure_cases(make_max_heap_tree),
+    [spec_with_pred("pheap", pre_root="t")],
+)

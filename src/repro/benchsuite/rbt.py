@@ -1,0 +1,95 @@
+"""Red-black Tree category.
+
+The paper reports that ``insert`` crashes after its first iteration and
+``del`` produces no traces at all; the re-implementations below reproduce
+both behaviours (``insert`` performs one unbalanced insertion step and then
+dereferences a null grandparent; ``del`` crashes immediately).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_red_black_tree
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, standard_structs
+from repro.lang.builder import call, field, i, is_null, lt, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("rbt")
+_CATEGORY = "Red-black Tree"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"rbt/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- insert(t, k): BST-style insertion of a red leaf (no rebalancing; see module docstring) -----------
+
+insert = Function(
+    "insert",
+    [("t", "RbNode*"), ("k", "int")],
+    "RbNode*",
+    [
+        If(
+            is_null("t"),
+            [Alloc("node", "RbNode", {"data": v("k"), "color": i(1)}), Return(v("node"))],
+        ),
+        If(
+            lt(v("k"), field("t", "data")),
+            [Store(v("t"), "left", call("insert", field("t", "left"), v("k")))],
+            [Store(v("t"), "right", call("insert", field("t", "right"), v("k")))],
+        ),
+        Return(v("t")),
+    ],
+)
+
+
+_register(
+    "insert",
+    [insert],
+    "insert",
+    structure_and_value_cases(make_red_black_tree, values=(7, 450, 999)),
+    [spec_with_pred("rbt", pre_root="t", post_root="res")],
+)
+
+
+# -- del(t): intentionally buggy removal (crashes before reaching any location of interest) ------------
+
+delete = Function(
+    "del",
+    [("t", "RbNode*")],
+    "RbNode*",
+    [
+        # BUG (intentional): dereferences the left child of the root without
+        # checking the root itself, crashing on every input (marked * in
+        # Table 1).
+        Assign("l", field(field("t", "left"), "left")),
+        If(is_null("t"), [Return(null())]),
+        Free(v("t")),
+        Return(v("l")),
+    ],
+)
+_register(
+    "del",
+    [delete],
+    "del",
+    single_structure_cases(make_red_black_tree, sizes=(0, 0, 0)),
+    [spec_with_pred("rbt", pre_root="t")],
+    has_bug=True,
+)

@@ -1,0 +1,255 @@
+"""SLL category: basic algorithms over standard singly-linked lists.
+
+Mirrors the paper's first Table 1 row: ``append, delAll, find, insert,
+reverse, insertFront, insertBack, copy`` over plain ``SllNode`` cells.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import (
+    single_structure_cases,
+    structure_and_value_cases,
+    two_structure_cases,
+)
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import (
+    add,
+    and_,
+    call,
+    eq,
+    field,
+    gt,
+    i,
+    is_null,
+    lt,
+    ne,
+    not_null,
+    null,
+    sub,
+    v,
+)
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("sll", "lseg")
+_CATEGORY = "SLL"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    program = Program(_STRUCTS, [function])
+    register(
+        BenchmarkProgram(
+            name=f"sll/{name}",
+            category=_CATEGORY,
+            program=program,
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- append(x, y): append list y to the end of list x (recursive) --------------
+
+append = Function(
+    "append",
+    [("x", "SllNode*"), ("y", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Store(v("x"), "next", call("append", field("x", "next"), v("y"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "append",
+    append,
+    two_structure_cases(make_sll),
+    [spec_with_pred("sll", pre_root="x", post_root=None)],
+)
+
+
+# -- delAll(x): free every node of the list -------------------------------------
+
+del_all = Function(
+    "delAll",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        While(
+            not_null("x"),
+            [
+                Assign("t", field("x", "next")),
+                Free(v("x")),
+                Assign("x", v("t")),
+            ],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "delAll",
+    del_all,
+    single_structure_cases(make_sll),
+    [pre_only_pred(("sll", "lseg"), pre_root="x"), loop_with_pred(("sll", "lseg"), root="x")],
+    uses_free=True,
+)
+
+
+# -- find(x, n): return the n-th node of the list --------------------------------
+
+find = Function(
+    "find",
+    [("x", "SllNode*"), ("n", "int")],
+    "SllNode*",
+    [
+        Assign("cur", v("x")),
+        Assign("k", i(0)),
+        While(
+            and_(not_null("cur"), lt(v("k"), v("n"))),
+            [
+                Assign("cur", field("cur", "next")),
+                Assign("k", add(v("k"), i(1))),
+            ],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "find",
+    find,
+    structure_and_value_cases(make_sll),
+    [spec_with_pred(("sll", "lseg"), pre_root="x"), loop_with_pred("lseg", root="x")],
+)
+
+
+# -- insert(x, n): insert a fresh node after position n ---------------------------
+
+insert = Function(
+    "insert",
+    [("x", "SllNode*"), ("n", "int")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Alloc("node", "SllNode"), Return(v("node"))]),
+        Assign("cur", v("x")),
+        Assign("k", i(0)),
+        While(
+            and_(not_null(field("cur", "next")), lt(v("k"), v("n"))),
+            [
+                Assign("cur", field("cur", "next")),
+                Assign("k", add(v("k"), i(1))),
+            ],
+        ),
+        Alloc("node", "SllNode", {"next": field("cur", "next")}),
+        Store(v("cur"), "next", v("node")),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    structure_and_value_cases(make_sll),
+    [spec_with_pred("sll", pre_root="x", post_root="res"), loop_with_pred("lseg", root="x")],
+)
+
+
+# -- reverse(x): iterative in-place reversal ---------------------------------------
+
+reverse = Function(
+    "reverse",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Assign("prev", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", v("prev")),
+                Assign("prev", v("cur")),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverse",
+    reverse,
+    single_structure_cases(make_sll),
+    [
+        spec_with_pred("sll", pre_root="x", post_root="res"),
+        loop_with_pred("sll", root="cur"),
+    ],
+)
+
+
+# -- insertFront(x): push a fresh node at the head -----------------------------------
+
+insert_front = Function(
+    "insertFront",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        Alloc("node", "SllNode", {"next": v("x")}),
+        Return(v("node")),
+    ],
+)
+_register(
+    "insertFront",
+    insert_front,
+    single_structure_cases(make_sll),
+    [spec_with_pred("sll", pre_root="x", post_root="res")],
+)
+
+
+# -- insertBack(x): recursive insertion at the tail ------------------------------------
+
+insert_back = Function(
+    "insertBack",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Alloc("node", "SllNode"), Return(v("node"))]),
+        Store(v("x"), "next", call("insertBack", field("x", "next"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insertBack",
+    insert_back,
+    single_structure_cases(make_sll),
+    [spec_with_pred("sll", pre_root="x", post_root="res")],
+)
+
+
+# -- copy(x): recursive structural copy ---------------------------------------------------
+
+copy = Function(
+    "copy",
+    [("x", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Alloc("node", "SllNode", {"next": call("copy", field("x", "next"))}),
+        Return(v("node")),
+    ],
+)
+_register(
+    "copy",
+    copy,
+    single_structure_cases(make_sll),
+    [spec_with_pred("sll", pre_root="x", post_root="res")],
+)

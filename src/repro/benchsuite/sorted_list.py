@@ -1,0 +1,312 @@
+"""Sorted List category: algorithms over ascending sorted singly-linked lists."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import (
+    single_structure_cases,
+    structure_and_value_cases,
+    two_structure_cases,
+)
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_sll_data, make_sorted_sll
+from repro.lang import (
+    Alloc,
+    Assign,
+    FieldAccess,
+    Free,
+    Function,
+    If,
+    Program,
+    Return,
+    Store,
+    While,
+    standard_structs,
+)
+from repro.lang.builder import and_, call, field, ge, is_null, lt, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("sls", "slseg", "slldata", "slsegdata")
+_CATEGORY = "Sorted List"
+
+
+def _register(name, function, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"sorted/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, [function]),
+            function=function.name,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- concat(x, y): append y to x (sorted when max(x) <= min(y)) -----------------------
+
+concat = Function(
+    "concat",
+    [("x", "SNode*"), ("y", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(v("y"))]),
+        Store(v("x"), "next", call("concat", field("x", "next"), v("y"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "concat",
+    concat,
+    two_structure_cases(make_sorted_sll),
+    [spec_with_pred(("sls", "slldata"), pre_root="x")],
+)
+
+
+# -- find(x, k): first node holding value k ----------------------------------------------
+
+find = Function(
+    "find",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        Assign("cur", v("x")),
+        While(
+            and_(not_null("cur"), lt(field("cur", "data"), v("k"))),
+            [Assign("cur", field("cur", "next"))],
+        ),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "find",
+    find,
+    structure_and_value_cases(make_sorted_sll, values=(0, 50, 120)),
+    [spec_with_pred("sls", pre_root="x"), loop_with_pred(("slseg", "slsegdata", "sls"), root="x")],
+)
+
+
+# -- findLast(x): last node of the list -----------------------------------------------------
+
+find_last = Function(
+    "findLast",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        If(is_null("x"), [Return(null())]),
+        Assign("cur", v("x")),
+        While(not_null(field("cur", "next")), [Assign("cur", field("cur", "next"))]),
+        Return(v("cur")),
+    ],
+)
+_register(
+    "findLast",
+    find_last,
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred("sls", pre_root="x"), loop_with_pred(("slseg", "slsegdata", "sls"), root="x")],
+)
+
+
+# -- insert(x, k): recursive sorted insertion --------------------------------------------------
+
+insert = Function(
+    "insert",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        If(
+            is_null("x"),
+            [Alloc("node", "SNode", {"data": v("k")}), Return(v("node"))],
+        ),
+        If(
+            ge(field("x", "data"), v("k")),
+            [Alloc("node", "SNode", {"data": v("k"), "next": v("x")}), Return(v("node"))],
+        ),
+        Store(v("x"), "next", call("insert", field("x", "next"), v("k"))),
+        Return(v("x")),
+    ],
+)
+_register(
+    "insert",
+    insert,
+    structure_and_value_cases(make_sorted_sll, values=(0, 55, 200)),
+    [spec_with_pred("sls", pre_root="x", post_root="res")],
+)
+
+
+# -- insertIter(x, k): iterative sorted insertion ----------------------------------------------------
+
+insert_iter = Function(
+    "insertIter",
+    [("x", "SNode*"), ("k", "int")],
+    "SNode*",
+    [
+        Alloc("node", "SNode", {"data": v("k")}),
+        If(
+            and_(not_null("x"), lt(field("x", "data"), v("k"))),
+            [
+                Assign("cur", v("x")),
+                While(
+                    and_(
+                        not_null(field("cur", "next")),
+                        lt(FieldAccess(field("cur", "next"), "data"), v("k")),
+                    ),
+                    [Assign("cur", field("cur", "next"))],
+                ),
+                Store(v("node"), "next", field("cur", "next")),
+                Store(v("cur"), "next", v("node")),
+                Return(v("x")),
+            ],
+            [
+                Store(v("node"), "next", v("x")),
+                Return(v("node")),
+            ],
+        ),
+    ],
+)
+_register(
+    "insertIter",
+    insert_iter,
+    structure_and_value_cases(make_sorted_sll, values=(0, 55, 200)),
+    [spec_with_pred("sls", pre_root="x", post_root="res"), loop_with_pred(("slseg", "slsegdata", "sls"), root="x")],
+)
+
+
+# -- delAll(x): free the whole sorted list -----------------------------------------------------------
+
+del_all = Function(
+    "delAll",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        While(
+            not_null("x"),
+            [Assign("t", field("x", "next")), Free(v("x")), Assign("x", v("t"))],
+        ),
+        Return(null()),
+    ],
+)
+_register(
+    "delAll",
+    del_all,
+    single_structure_cases(make_sorted_sll),
+    [pre_only_pred("sls", pre_root="x"), loop_with_pred(("sls", "slldata"), root="x")],
+    uses_free=True,
+)
+
+
+# -- reverseSort(x): reverse an ascending list (result is descending, still a data list) ---------------
+
+reverse_sort = Function(
+    "reverseSort",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        Assign("prev", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", v("prev")),
+                Assign("prev", v("cur")),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("prev")),
+    ],
+)
+_register(
+    "reverseSort",
+    reverse_sort,
+    single_structure_cases(make_sorted_sll),
+    [spec_with_pred(("sls", "slldata"), pre_root="x", post_root="res"), loop_with_pred(("slldata", "slsegdata", "sls"), root="cur")],
+)
+
+
+# -- insertionSort(x): sort an arbitrary data list by repeated sorted insertion -------------------------
+
+insertion_sort = Function(
+    "insertionSort",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        Assign("sorted", null()),
+        Assign("cur", v("x")),
+        While(
+            not_null("cur"),
+            [
+                Assign("next", field("cur", "next")),
+                Store(v("cur"), "next", null()),
+                Assign("sorted", call("sortedInsertNode", v("sorted"), v("cur"))),
+                Assign("cur", v("next")),
+            ],
+        ),
+        Return(v("sorted")),
+    ],
+)
+
+sorted_insert_node = Function(
+    "sortedInsertNode",
+    [("lst", "SNode*"), ("node", "SNode*")],
+    "SNode*",
+    [
+        If(
+            is_null("lst"),
+            [Return(v("node"))],
+        ),
+        If(
+            ge(field("lst", "data"), field("node", "data")),
+            [Store(v("node"), "next", v("lst")), Return(v("node"))],
+        ),
+        Store(v("lst"), "next", call("sortedInsertNode", field("lst", "next"), v("node"))),
+        Return(v("lst")),
+    ],
+)
+register(
+    BenchmarkProgram(
+        name="sorted/insertionSort",
+        category=_CATEGORY,
+        program=Program(_STRUCTS, [insertion_sort, sorted_insert_node]),
+        function="insertionSort",
+        predicates=_PREDICATES,
+        make_tests=single_structure_cases(make_sll_data),
+        documented=[
+            spec_with_pred(("slldata", "sls"), pre_root="x"),
+            post_only_pred("sls"),
+            loop_with_pred(("sls", "slldata", "slsegdata"), root="sorted"),
+        ],
+    )
+)
+
+
+# -- quickSort(x): intentionally buggy (null dereference on the pivot), marked * in Table 1 -------------
+
+quick_sort = Function(
+    "quickSort",
+    [("x", "SNode*")],
+    "SNode*",
+    [
+        # BUG (intentional): dereferences the pivot without a null check, so
+        # the program crashes on every input, including the empty list.
+        Assign("pivot", field("x", "data")),
+        If(is_null(field("x", "next")), [Return(v("x"))]),
+        Return(call("quickSort", field("x", "next"))),
+    ],
+)
+_register(
+    "quickSort",
+    quick_sort,
+    single_structure_cases(make_sll_data, sizes=(0, 0, 0)),
+    [spec_with_pred("sls", pre_root="x")],
+    has_bug=True,
+)

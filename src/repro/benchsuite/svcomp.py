@@ -1,0 +1,220 @@
+"""SV-COMP (Heap Programs) category: master/slave nested-list programs.
+
+The SV-COMP heap benchmarks manipulate a "master" list whose elements own
+"slave" sub-lists; we model them with ``NlNode`` cells (``next`` along the
+master list, ``child`` pointing to an ``SllNode`` slave list) and the nested
+predicate ``nll``.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases, structure_and_value_cases, value_only_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    pre_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_nested_list, make_sll
+from repro.lang import Alloc, Assign, Free, Function, If, Program, Return, Store, While, standard_structs
+from repro.lang.builder import add, call, field, gt, i, is_null, not_null, null, sub, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("nll", "sll", "lseg")
+_CATEGORY = "SV-COMP"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    if not isinstance(functions, list):
+        functions = [functions]
+    register(
+        BenchmarkProgram(
+            name=f"svcomp/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- allocSlave(n): build a slave list of length n ----------------------------------------------
+
+alloc_slave = Function(
+    "allocSlave",
+    [("n", "int")],
+    "SllNode*",
+    [
+        Assign("head", null()),
+        While(
+            gt(v("n"), i(0)),
+            [
+                Alloc("node", "SllNode", {"next": v("head")}),
+                Assign("head", v("node")),
+                Assign("n", sub(v("n"), i(1))),
+            ],
+        ),
+        Return(v("head")),
+    ],
+)
+_register(
+    "allocSlave",
+    alloc_slave,
+    "allocSlave",
+    value_only_cases(),
+    [post_only_pred(("sll", "lseg"), post_root="res"), loop_with_pred(("sll", "lseg"), root="head")],
+)
+
+
+# -- insertSlave(master, n): give the head master element a fresh slave list --------------------------
+
+insert_slave = Function(
+    "insertSlave",
+    [("master", "NlNode*"), ("n", "int")],
+    "NlNode*",
+    [
+        If(is_null("master"), [Return(null())]),
+        Store(v("master"), "child", call("allocSlave", v("n"))),
+        Return(v("master")),
+    ],
+)
+_register(
+    "insertSlave",
+    [insert_slave, alloc_slave],
+    "insertSlave",
+    structure_and_value_cases(make_nested_list, values=(0, 2, 4)),
+    [spec_with_pred("nll", pre_root="master", post_root="res")],
+)
+
+
+# -- createSlave / init(n): build a master list of n elements, each with a small slave list ------------------
+
+create_master = Function(
+    "createSlave",
+    [("n", "int")],
+    "NlNode*",
+    [
+        Assign("master", null()),
+        While(
+            gt(v("n"), i(0)),
+            [
+                Assign("slave", call("allocSlave", i(2))),
+                Alloc("node", "NlNode", {"next": v("master"), "child": v("slave")}),
+                Assign("master", v("node")),
+                Assign("n", sub(v("n"), i(1))),
+            ],
+        ),
+        Return(v("master")),
+    ],
+)
+_register(
+    "createSlave",
+    [create_master, alloc_slave],
+    "createSlave",
+    value_only_cases(),
+    [post_only_pred("nll", post_root="res"), loop_with_pred("nll", root="master")],
+)
+
+init = Function(
+    "init",
+    [("n", "int")],
+    "NlNode*",
+    [
+        Assign("master", call("createSlave", v("n"))),
+        Return(v("master")),
+    ],
+)
+_register(
+    "init",
+    [init, create_master, alloc_slave],
+    "init",
+    value_only_cases(),
+    [post_only_pred("nll", post_root="res")],
+)
+
+
+# -- destroySlave(master): free every slave list, keeping the master list --------------------------------------
+
+destroy_slave = Function(
+    "destroySlave",
+    [("master", "NlNode*")],
+    "NlNode*",
+    [
+        Assign("cur", v("master")),
+        While(
+            not_null("cur"),
+            [
+                Assign("slave", field("cur", "child")),
+                While(
+                    not_null("slave"),
+                    [Assign("t", field("slave", "next")), Free(v("slave")), Assign("slave", v("t"))],
+                ),
+                Store(v("cur"), "child", null()),
+                Assign("cur", field("cur", "next")),
+            ],
+        ),
+        Return(v("master")),
+    ],
+)
+_register(
+    "destroySlave",
+    destroy_slave,
+    "destroySlave",
+    single_structure_cases(make_nested_list),
+    [spec_with_pred("nll", pre_root="master", post_root="res"), loop_with_pred("nll")],
+    uses_free=True,
+)
+
+
+# -- add(master): prepend a fresh master element with an empty slave list ------------------------------------------
+
+add_master = Function(
+    "add",
+    [("master", "NlNode*")],
+    "NlNode*",
+    [
+        Alloc("node", "NlNode", {"next": v("master")}),
+        Return(v("node")),
+    ],
+)
+_register(
+    "add",
+    add_master,
+    "add",
+    single_structure_cases(make_nested_list),
+    [spec_with_pred("nll", pre_root="master", post_root="res")],
+)
+
+
+# -- del(master): drop and free the head master element together with its slave list ----------------------------------
+
+del_master = Function(
+    "del",
+    [("master", "NlNode*")],
+    "NlNode*",
+    [
+        If(is_null("master"), [Return(null())]),
+        Assign("slave", field("master", "child")),
+        While(
+            not_null("slave"),
+            [Assign("t", field("slave", "next")), Free(v("slave")), Assign("slave", v("t"))],
+        ),
+        Assign("rest", field("master", "next")),
+        Free(v("master")),
+        Return(v("rest")),
+    ],
+)
+_register(
+    "del",
+    del_master,
+    "del",
+    single_structure_cases(make_nested_list),
+    [spec_with_pred("nll", pre_root="master", post_root="res")],
+    uses_free=True,
+)

@@ -1,0 +1,152 @@
+"""Tree Traversal category: traversals and tree-to-list conversions."""
+
+from __future__ import annotations
+
+from repro.benchsuite.common import single_structure_cases
+from repro.benchsuite.registry import (
+    BenchmarkProgram,
+    loop_with_pred,
+    post_only_pred,
+    register,
+    spec_with_pred,
+)
+from repro.datagen import make_tree
+from repro.lang import (
+    Alloc,
+    Assign,
+    ExprStmt,
+    Function,
+    If,
+    Program,
+    Return,
+    Store,
+    While,
+    standard_structs,
+)
+from repro.lang.builder import call, field, i, is_null, not_null, null, v
+from repro.sl.stdpreds import predicates_for
+
+_STRUCTS = standard_structs()
+_PREDICATES = predicates_for("tree", "treeseg", "sll")
+_CATEGORY = "Tree Traversal"
+
+
+def _register(name, functions, main, make_tests, documented, **kwargs):
+    register(
+        BenchmarkProgram(
+            name=f"traversal/{name}",
+            category=_CATEGORY,
+            program=Program(_STRUCTS, functions),
+            function=main,
+            predicates=_PREDICATES,
+            make_tests=make_tests,
+            documented=documented,
+            **kwargs,
+        )
+    )
+
+
+# -- traverseInorder / traversePreorder / traversePostorder: count nodes in the given order --------
+
+def _counting_traversal(name: str, order: str) -> Function:
+    """Recursive traversal counting the visited nodes (the count stands in
+    for the side effect of the original printf-based traversals)."""
+    left_call = Assign("a", call(name, field("t", "left")))
+    right_call = Assign("b", call(name, field("t", "right")))
+    middle = Assign("here", i(1))
+    sequences = {
+        "inorder": [left_call, middle, right_call],
+        "preorder": [middle, left_call, right_call],
+        "postorder": [left_call, right_call, middle],
+    }
+    from repro.lang.builder import add
+
+    return Function(
+        name,
+        [("t", "TNode*")],
+        "int",
+        [
+            If(is_null("t"), [Return(i(0))]),
+            *sequences[order],
+            Return(add(v("here"), add(v("a"), v("b")))),
+        ],
+    )
+
+
+for _order in ("inorder", "preorder", "postorder"):
+    _fn = _counting_traversal(f"traverse_{_order}", _order)
+    _register(
+        f"traverse{_order.capitalize()}",
+        [_fn],
+        _fn.name,
+        single_structure_cases(make_tree),
+        [spec_with_pred("tree", pre_root="t")],
+    )
+
+
+# -- tree2list: flatten a tree into a singly-linked list (recursive) ---------------------------------
+
+tree2list = Function(
+    "tree2list",
+    [("t", "TNode*")],
+    "SllNode*",
+    [
+        If(is_null("t"), [Return(null())]),
+        Assign("left_list", call("tree2list", field("t", "left"))),
+        Assign("right_list", call("tree2list", field("t", "right"))),
+        Alloc("node", "SllNode", {"next": v("right_list")}),
+        Assign("res_list", call("appendList", v("left_list"), v("node"))),
+        Return(v("res_list")),
+    ],
+)
+
+append_list = Function(
+    "appendList",
+    [("a", "SllNode*"), ("b", "SllNode*")],
+    "SllNode*",
+    [
+        If(is_null("a"), [Return(v("b"))]),
+        Store(v("a"), "next", call("appendList", field("a", "next"), v("b"))),
+        Return(v("a")),
+    ],
+)
+_register(
+    "tree2list",
+    [tree2list, append_list],
+    "tree2list",
+    single_structure_cases(make_tree),
+    [spec_with_pred("tree", pre_root="t"), post_only_pred("sll", post_root="res")],
+)
+
+
+# -- tree2listIter: intentionally buggy iterative flattening (marked * in Table 1) ---------------------
+
+tree2list_iter = Function(
+    "tree2listIter",
+    [("t", "TNode*")],
+    "SllNode*",
+    [
+        # BUG (intentional): the rotation step dereferences t->left without a
+        # null check, crashing on every non-trivial input; the empty input
+        # crashes on the first dereference of t itself.
+        Assign("probe", field(field("t", "left"), "left")),
+        Assign("out", null()),
+        While(
+            not_null("t"),
+            [
+                Alloc("node", "SllNode", {"next": v("out")}),
+                Assign("out", v("node")),
+                Assign("t", field("t", "left")),
+            ],
+        ),
+        Return(v("out")),
+    ],
+)
+_register(
+    "tree2listIter",
+    [tree2list_iter],
+    "tree2listIter",
+    single_structure_cases(make_tree, sizes=(0, 0, 0)),
+    [spec_with_pred("tree", pre_root="t")],
+    has_bug=True,
+)

@@ -1,0 +1,24 @@
+"""The SLING inference algorithm (the paper's primary contribution)."""
+
+from repro.core.results import AtomResult, InferredResult, Invariant, Specification
+from repro.core.boundary import split_heap, SplitResult
+from repro.core.infer_atom import infer_atoms
+from repro.core.infer_pure import infer_pure_equalities
+from repro.core.validate import validate_specification
+from repro.core.sling import Sling, SlingConfig, infer_invariants, infer_specification
+
+__all__ = [
+    "AtomResult",
+    "InferredResult",
+    "Invariant",
+    "Specification",
+    "split_heap",
+    "SplitResult",
+    "infer_atoms",
+    "infer_pure_equalities",
+    "validate_specification",
+    "Sling",
+    "SlingConfig",
+    "infer_invariants",
+    "infer_specification",
+]

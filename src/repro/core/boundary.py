@@ -1,0 +1,150 @@
+"""Heap partitioning: the ``SplitHeap`` procedure of Section 4.1.
+
+Given a sequence of stack-heap models and a *root* pointer variable,
+``split_heap`` computes for each model
+
+* the sub-heap of cells reachable from the root, stopping at (and excluding)
+  cells pointed to by other, non-aliasing stack pointer variables, and
+* the remaining heap,
+
+together with the *common boundary*: the root itself, ``nil`` when it is
+reachable, and every stack variable whose value was encountered during the
+traversal -- intersected across all models.  Boundary variables are the
+candidate arguments for the atomic predicates inferred next (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang.types import StructRegistry, is_pointer_type
+from repro.sl.model import StackHeapModel
+
+#: The name used for the ``nil`` constant in boundary sets.
+NIL_NAME = "nil"
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """The output of ``SplitHeap`` for a sequence of models."""
+
+    sub_models: tuple[StackHeapModel, ...]
+    rest_models: tuple[StackHeapModel, ...]
+    boundary: tuple[str, ...]
+
+
+def split_heap(
+    models: Sequence[StackHeapModel],
+    root: str,
+    structs: StructRegistry | None = None,
+) -> SplitResult:
+    """Split every model around ``root`` and intersect the per-model boundaries."""
+    sub_models: list[StackHeapModel] = []
+    rest_models: list[StackHeapModel] = []
+    boundaries: list[set[str]] = []
+    for model in models:
+        sub_heap_addrs, boundary = _split_one(model, root, structs)
+        sub_models.append(model.with_heap(model.heap.restrict(sub_heap_addrs)))
+        rest_models.append(model.with_heap(model.heap.remove(sub_heap_addrs)))
+        boundaries.append(boundary)
+
+    if boundaries:
+        common = set.intersection(*boundaries)
+    else:
+        common = set()
+    ordered = _order_boundary(common, root, models)
+    return SplitResult(tuple(sub_models), tuple(rest_models), tuple(ordered))
+
+
+def _split_one(
+    model: StackHeapModel, root: str, structs: StructRegistry | None
+) -> tuple[set[int], set[str]]:
+    """Compute the sub-heap addresses and boundary variables for one model."""
+    stack = model.stack_dict
+    if root not in stack:
+        return set(), {root}
+    root_value = stack[root]
+    pointer_vars = model.pointer_vars()
+
+    # Variables aliasing the root do not stop the traversal; all others do.
+    stoppers: dict[int, list[str]] = {}
+    for var in pointer_vars:
+        value = stack[var]
+        if var != root and value != root_value and value != 0:
+            stoppers.setdefault(value, []).append(var)
+
+    boundary: set[str] = {root}
+    for var in pointer_vars:
+        if var != root and stack[var] == root_value:
+            boundary.add(var)
+
+    if root_value == 0:
+        boundary.add(NIL_NAME)
+        return set(), boundary
+
+    visited: set[int] = set()
+    saw_nil = False
+    worklist = [root_value]
+    while worklist:
+        address = worklist.pop()
+        if address == 0:
+            saw_nil = True
+            continue
+        if address not in model.heap:
+            # Dangling pointer: the cell is not part of the observed heap.
+            continue
+        if address in stoppers:
+            boundary.update(stoppers[address])
+            continue
+        if address in visited:
+            continue
+        visited.add(address)
+        for value in _successors(model, address, structs):
+            if value == 0:
+                saw_nil = True
+            elif value in model.heap and value not in visited:
+                worklist.append(value)
+
+    if saw_nil:
+        boundary.add(NIL_NAME)
+    return visited, boundary
+
+
+def _successors(
+    model: StackHeapModel, address: int, structs: StructRegistry | None
+) -> list[int]:
+    """Values of the pointer fields of the cell at ``address``."""
+    cell = model.heap[address]
+    if structs is not None and cell.type_name in structs:
+        struct = structs.get(cell.type_name)
+        return [
+            value
+            for name, value in cell.fields
+            if struct.has_field(name) and is_pointer_type(struct.field_type(name))
+        ]
+    # Without type information, treat any field holding a live address (or
+    # nil) as a pointer field.
+    return [value for _, value in cell.fields if value == 0 or value in model.heap]
+
+
+def _order_boundary(
+    boundary: set[str], root: str, models: Sequence[StackHeapModel]
+) -> list[str]:
+    """Deterministic boundary order: root first, stack variables, then ``nil``."""
+    stack_order: list[str] = []
+    for model in models:
+        for name, _ in model.stack:
+            if name not in stack_order:
+                stack_order.append(name)
+    ordered = [root]
+    for name in stack_order:
+        if name in boundary and name != root:
+            ordered.append(name)
+    if NIL_NAME in boundary:
+        ordered.append(NIL_NAME)
+    # Any remaining members (defensive; should not happen).
+    for name in sorted(boundary):
+        if name not in ordered:
+            ordered.append(name)
+    return ordered

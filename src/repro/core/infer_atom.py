@@ -1,0 +1,300 @@
+"""Atomic-predicate inference: the ``InferAtom`` procedure (Algorithm 2).
+
+Given a root pointer variable, its sub-models and their common boundary,
+``infer_atoms`` searches the predefined inductive predicates for atomic
+formulae satisfied by *all* sub-models:
+
+1. for each predicate, argument tuples are enumerated from subsets of the
+   boundary (always containing the root) padded with fresh existential
+   variables, in ascending subset size, filtered for type consistency;
+2. each candidate is checked against every sub-model by the symbolic-heap
+   model checker, which also yields residual models and existential
+   instantiations;
+3. when every sub-model is a single cell, a singleton (points-to) template
+   is additionally derived;
+4. when nothing else matches, the ``emp`` fallback is returned with the
+   sub-models as residue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.boundary import NIL_NAME
+from repro.core.results import AtomResult
+from repro.lang.types import StructRegistry, is_pointer_type
+from repro.sl.checker import ModelChecker
+from repro.sl.exprs import Expr, Nil, Var
+from repro.sl.model import StackHeapModel
+from repro.sl.predicates import InductivePredicate, PredicateRegistry
+from repro.sl.spatial import PointsTo, PredApp, SymHeap, fresh_vars
+
+
+@dataclass(frozen=True)
+class InferAtomConfig:
+    """Search-space limits for Algorithm 2."""
+
+    #: Predicates with more parameters than this are skipped (the paper notes
+    #: the search is exponential in the arity; its largest predicate has 10).
+    max_pred_arity: int = 10
+    #: Upper bound on boundary-subset size (and hence permutation length).
+    max_boundary_subset: int = 6
+    #: Hard cap on the number of candidate formulae checked per predicate.
+    max_candidates_per_pred: int = 4000
+    #: Maximum number of accepted results returned per root variable.
+    max_results: int = 4
+    #: Keep zero-coverage results (formulas whose reduction consumes nothing).
+    keep_vacuous: bool = False
+
+
+def infer_atoms(
+    root: str,
+    sub_models: Sequence[StackHeapModel],
+    boundary: Sequence[str],
+    predicates: PredicateRegistry,
+    checker: ModelChecker,
+    structs: StructRegistry | None = None,
+    config: InferAtomConfig | None = None,
+) -> list[AtomResult]:
+    """Infer atomic heap predicates for ``root`` over its sub-models."""
+    config = config or InferAtomConfig()
+    if not sub_models:
+        return []
+
+    results: list[AtomResult] = []
+    root_type = _var_type(root, sub_models)
+    sub_heaps_empty = all(model.heap.is_empty() for model in sub_models)
+
+    if not sub_heaps_empty:
+        for predicate in predicates.candidates_for_type(root_type):
+            if predicate.arity > config.max_pred_arity:
+                continue
+            results.extend(
+                _infer_inductive(
+                    root, sub_models, boundary, predicate, checker, sub_models, config
+                )
+            )
+        if all(len(model.heap) == 1 for model in sub_models):
+            singleton = _infer_singleton(root, sub_models, boundary)
+            if singleton is not None:
+                results.append(singleton)
+
+    results = _rank_and_prune(results, config)
+    if not results:
+        results.append(
+            AtomResult(
+                atom=None,
+                exists=(),
+                residual_models=tuple(sub_models),
+                instantiations=tuple({} for _ in sub_models),
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Inductive predicates
+# ---------------------------------------------------------------------------
+
+
+def _infer_inductive(
+    root: str,
+    sub_models: Sequence[StackHeapModel],
+    boundary: Sequence[str],
+    predicate: InductivePredicate,
+    checker: ModelChecker,
+    models: Sequence[StackHeapModel],
+    config: InferAtomConfig,
+) -> list[AtomResult]:
+    """Enumerate and check argument permutations of one predicate."""
+    arity = predicate.arity
+    results: list[AtomResult] = []
+    candidates_checked = 0
+    others = [name for name in boundary if name != root]
+    max_subset = min(arity, config.max_boundary_subset, len(boundary))
+
+    seen_signatures: set[tuple] = set()
+    for subset_size in range(1, max_subset + 1):
+        for extra in itertools.combinations(others, subset_size - 1):
+            subset = (root, *extra)
+            fresh = fresh_vars(arity - subset_size, prefix="u")
+            pool = list(subset) + list(fresh)
+            for permutation in itertools.permutations(pool, arity):
+                if root not in permutation:
+                    continue
+                if not _type_consistent(permutation, predicate, sub_models, set(fresh)):
+                    continue
+                # Fresh existentials are interchangeable: collapse permutations
+                # that only differ by which fresh variable sits where.
+                signature = tuple(
+                    name if name not in fresh else "?" for name in permutation
+                )
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+                candidates_checked += 1
+                if candidates_checked > config.max_candidates_per_pred:
+                    return results
+                used_fresh = tuple(name for name in permutation if name in fresh)
+                formula = SymHeap(
+                    exists=used_fresh,
+                    spatial=PredApp(predicate.name, [_to_expr(name) for name in permutation]),
+                )
+                check = checker.check_all(list(sub_models), formula)
+                if check is None:
+                    continue
+                if not config.keep_vacuous and all(not result.consumed for result in check):
+                    continue
+                results.append(
+                    AtomResult(
+                        atom=formula.spatial,
+                        exists=used_fresh,
+                        residual_models=tuple(
+                            model.with_heap(result.residual)
+                            for model, result in zip(sub_models, check)
+                        ),
+                        instantiations=tuple(result.instantiation for result in check),
+                    )
+                )
+    return results
+
+
+def _type_consistent(
+    permutation: Sequence[str],
+    predicate: InductivePredicate,
+    sub_models: Sequence[StackHeapModel],
+    fresh: set[str],
+) -> bool:
+    """Algorithm 2, line 8: boundary arguments must match the parameter types."""
+    for name, param_type in zip(permutation, predicate.param_types):
+        if name in fresh:
+            continue
+        if name == NIL_NAME:
+            # nil may instantiate any pointer parameter but not an integer one.
+            if param_type is not None and not is_pointer_type(param_type):
+                return False
+            continue
+        var_type = _var_type(name, sub_models)
+        if param_type is None:
+            # Integer-ish parameter: only fresh existentials may fill it;
+            # boundary members are pointers by construction.
+            return False
+        if var_type is None:
+            # Untyped stack variable (e.g. the ghost ``res``): allow it for
+            # pointer parameters.
+            continue
+        if var_type != param_type:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Singleton predicates
+# ---------------------------------------------------------------------------
+
+
+def _infer_singleton(
+    root: str, sub_models: Sequence[StackHeapModel], boundary: Sequence[str]
+) -> AtomResult | None:
+    """Derive ``root |-> (k1, ..., kn)`` when every sub-model is one cell."""
+    cells = []
+    for model in sub_models:
+        root_value = model.stack_dict.get(root)
+        if root_value is None or root_value not in model.heap:
+            return None
+        cells.append(model.heap[root_value])
+    type_names = {cell.type_name for cell in cells}
+    if len(type_names) != 1:
+        return None
+    type_name = type_names.pop()
+    field_count = len(cells[0].values)
+    if any(len(cell.values) != field_count for cell in cells):
+        return None
+
+    args: list[Expr] = []
+    exists: list[str] = []
+    per_model_instantiations: list[dict[str, int]] = [dict() for _ in sub_models]
+    for position in range(field_count):
+        common = _common_variable_for_field(position, cells, sub_models, boundary)
+        if common is not None:
+            args.append(common)
+            continue
+        fresh_name = fresh_vars(1, prefix="u")[0]
+        exists.append(fresh_name)
+        args.append(Var(fresh_name))
+        for index, cell in enumerate(cells):
+            per_model_instantiations[index][fresh_name] = cell.values[position]
+
+    atom = PointsTo(Var(root), type_name, args)
+    residuals = []
+    for model in sub_models:
+        root_value = model.stack_dict[root]
+        residuals.append(model.with_heap(model.heap.remove([root_value])))
+    return AtomResult(
+        atom=atom,
+        exists=tuple(exists),
+        residual_models=tuple(residuals),
+        instantiations=tuple(per_model_instantiations),
+    )
+
+
+def _common_variable_for_field(
+    position: int,
+    cells: Sequence,
+    sub_models: Sequence[StackHeapModel],
+    boundary: Sequence[str],
+) -> Expr | None:
+    """A boundary variable (or nil) whose value matches this field in every model."""
+    if all(cell.values[position] == 0 for cell in cells):
+        return Nil()
+    for name in boundary:
+        if name == NIL_NAME:
+            continue
+        if all(
+            name in model.stack_dict
+            and model.stack_dict[name] == cell.values[position]
+            for model, cell in zip(sub_models, cells)
+        ):
+            return Var(name)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _to_expr(name: str) -> Expr:
+    return Nil() if name == NIL_NAME else Var(name)
+
+
+def _var_type(name: str, models: Sequence[StackHeapModel]) -> str | None:
+    for model in models:
+        var_type = model.type_dict.get(name)
+        if var_type is not None:
+            return var_type
+    return None
+
+
+def _rank_and_prune(results: list[AtomResult], config: InferAtomConfig) -> list[AtomResult]:
+    """Prefer full-coverage results with the fewest fresh existentials."""
+
+    def rank(result: AtomResult) -> tuple:
+        residual = sum(len(model.heap) for model in result.residual_models)
+        return (
+            0 if result.covers_everything() else 1,
+            residual,
+            len(result.exists),
+        )
+
+    unique: list[AtomResult] = []
+    seen: set[str] = set()
+    for result in sorted(results, key=rank):
+        key = repr(result.atom)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(result)
+    return unique[: config.max_results]

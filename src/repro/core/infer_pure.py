@@ -1,0 +1,120 @@
+"""Pure (heap-independent) inference: the ``InferPure`` step of Section 4.3.
+
+The heap predicates inferred by Algorithm 2 relate variables only through the
+arguments of the predicates; ``infer_pure_equalities`` recovers additional
+equalities among stack variables, existential variables, ``nil`` and the
+ghost variable ``res`` by checking which pairs agree in *every* observed
+model and existential instantiation.  This is how, e.g., ``res = x`` and the
+aliasing facts of the paper's running example are found.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.boundary import NIL_NAME
+from repro.sl.exprs import Eq, Expr, Nil, PureFormula, Var
+from repro.sl.model import StackHeapModel
+
+
+def infer_pure_equalities(
+    models: Sequence[StackHeapModel],
+    instantiations: Sequence[Mapping[str, int]],
+    stack_vars: Sequence[str] | None = None,
+    existential_vars: Sequence[str] | None = None,
+) -> list[PureFormula]:
+    """Equalities that hold in every model between the tracked terms.
+
+    ``models`` are the original (full) stack-heap models at the location;
+    ``instantiations`` the accumulated existential instantiations, one per
+    model.  Terms considered are the given stack variables (defaulting to
+    every pointer variable plus ``res``), the existential variables that are
+    instantiated in every model, and ``nil``.
+    """
+    if not models:
+        return []
+    if stack_vars is None:
+        stack_vars = _default_stack_vars(models)
+    if existential_vars is None:
+        existential_vars = _commonly_instantiated(instantiations)
+
+    terms: list[str] = list(dict.fromkeys([*stack_vars, *existential_vars, NIL_NAME]))
+    values = _term_values(terms, models, instantiations)
+
+    equalities: list[PureFormula] = []
+    for index, left in enumerate(terms):
+        for right in terms[index + 1 :]:
+            left_values = values.get(left)
+            right_values = values.get(right)
+            if left_values is None or right_values is None:
+                continue
+            if left_values == right_values:
+                equalities.append(Eq(_to_expr(left), _to_expr(right)))
+    return equalities
+
+
+def _default_stack_vars(models: Sequence[StackHeapModel]) -> list[str]:
+    """Pointer-valued stack variables (plus ``res``) present in every model."""
+    common: list[str] | None = None
+    for model in models:
+        names = [name for name in model.pointer_vars()]
+        if model.has_var("res") and "res" not in names:
+            names.append("res")
+        if common is None:
+            common = names
+        else:
+            common = [name for name in common if name in names]
+    return common or []
+
+
+def _commonly_instantiated(instantiations: Sequence[Mapping[str, int]]) -> list[str]:
+    """Existential variables with a concrete value in every instantiation."""
+    if not instantiations:
+        return []
+    common: set[str] | None = None
+    for instantiation in instantiations:
+        names = set(instantiation)
+        common = names if common is None else common & names
+    ordered = []
+    for instantiation in instantiations:
+        for name in instantiation:
+            if common and name in common and name not in ordered:
+                ordered.append(name)
+    return ordered
+
+
+def _term_values(
+    terms: Sequence[str],
+    models: Sequence[StackHeapModel],
+    instantiations: Sequence[Mapping[str, int]],
+) -> dict[str, tuple[int, ...]]:
+    """The per-model value vector of every term that is defined everywhere."""
+    values: dict[str, tuple[int, ...]] = {}
+    padded_instantiations = list(instantiations) + [{}] * (len(models) - len(instantiations))
+    for term in terms:
+        vector: list[int] = []
+        defined = True
+        for model, instantiation in zip(models, padded_instantiations):
+            if term == NIL_NAME:
+                vector.append(0)
+            elif model.has_var(term):
+                vector.append(model.value_of(term))
+            elif term in instantiation:
+                vector.append(instantiation[term])
+            else:
+                defined = False
+                break
+        if not defined:
+            continue
+        # The paper restricts pure inference to equivalences among memory
+        # addresses (Section 5.3); drop terms holding plain integer data.
+        is_address_like = all(
+            value == 0 or value in model.heap for value, model in zip(vector, models)
+        )
+        if is_address_like:
+            values[term] = tuple(vector)
+    return values
+
+
+def _to_expr(name: str) -> Expr:
+    return Nil() if name == NIL_NAME else Var(name)

@@ -1,0 +1,448 @@
+"""The SLING driver: Algorithm 1 and the public inference API.
+
+The entry points are
+
+* :func:`infer_invariants` -- invariants at one program location,
+* :func:`infer_specification` -- pre/postconditions and loop invariants for a
+  whole function, with frame-rule validation,
+* the :class:`Sling` class, which holds the program, predicate definitions
+  and configuration and exposes the same operations as methods.
+
+The pipeline per location is exactly the paper's: collect stack-heap models
+with the tracer, iterate over the pointer variables in a reachability-guided
+order, split the (residual) heaps around each variable, infer atomic
+predicates for the sub-heaps, combine them with ``*``, and finally add pure
+equalities and quantify out-of-scope variables existentially.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.boundary import split_heap
+from repro.core.infer_atom import InferAtomConfig, infer_atoms
+from repro.core.infer_pure import infer_pure_equalities
+from repro.core.results import (
+    InferredResult,
+    Invariant,
+    Specification,
+    merge_instantiations,
+)
+from repro.core.validate import paired_entry_exit_models, validate_specification
+from repro.lang.ast import Program
+from repro.lang.interp import InterpreterConfig
+from repro.lang.tracer import Location, TestCase, TraceCollection, collect_models
+from repro.sl.checker import ModelChecker
+from repro.sl.exprs import conjoin
+from repro.sl.model import StackHeapModel, models_union
+from repro.sl.predicates import PredicateRegistry
+from repro.sl.pretty import pretty
+from repro.sl.spatial import SymHeap, star
+
+
+@dataclass(frozen=True)
+class SlingConfig:
+    """Tuning knobs of the inference (defaults follow the paper's setup)."""
+
+    #: Accepted atomic formulae kept per analysed variable (Algorithm 2).
+    max_results_per_var: int = 3
+    #: Upper bound on the result set ``R`` carried across iterations.
+    max_total_results: int = 16
+    #: Invariants reported per location after deduplication.
+    max_invariants_per_location: int = 8
+    #: Predicates with more parameters than this are skipped.
+    max_pred_arity: int = 10
+    #: Largest boundary subset used to instantiate predicate parameters.
+    max_boundary_subset: int = 6
+    #: Hard cap on candidate formulae checked per predicate and variable.
+    max_candidates_per_pred: int = 4000
+    #: Step budget of the symbolic-heap model checker per reduction.
+    checker_max_steps: int = 50_000
+    #: Variable-analysis order: "reachability" (the paper's heuristic),
+    #: "stack" (declaration order) or "reverse" (ablation baselines).
+    variable_order: str = "reachability"
+    #: Keep zero-coverage (vacuous) atomic formulae.
+    keep_vacuous: bool = False
+    #: Step budget for the interpreter while collecting traces.
+    interpreter_max_steps: int = 200_000
+    #: Drop the events of test runs that crashed (the paper's LLDB-batch
+    #: workflow obtained no usable traces from crashing programs).
+    discard_crashed_runs: bool = False
+
+    def atom_config(self) -> InferAtomConfig:
+        """The Algorithm 2 configuration derived from this one."""
+        return InferAtomConfig(
+            max_pred_arity=self.max_pred_arity,
+            max_boundary_subset=self.max_boundary_subset,
+            max_candidates_per_pred=self.max_candidates_per_pred,
+            max_results=self.max_results_per_var,
+            keep_vacuous=self.keep_vacuous,
+        )
+
+    def interpreter_config(self) -> InterpreterConfig:
+        """The interpreter limits derived from this configuration."""
+        return InterpreterConfig(max_steps=self.interpreter_max_steps)
+
+
+class Sling:
+    """Dynamic inference of separation-logic invariants for heaplang programs."""
+
+    def __init__(
+        self,
+        program: Program,
+        predicates: PredicateRegistry,
+        config: SlingConfig | None = None,
+    ):
+        self.program = program
+        self.predicates = predicates
+        self.config = config or SlingConfig()
+        self.checker = ModelChecker(predicates, max_steps=self.config.checker_max_steps)
+
+    # ------------------------------------------------------------------ tracing --
+
+    def collect(
+        self,
+        function_name: str,
+        test_cases: Sequence[TestCase],
+        locations: Iterable[str] | None = None,
+    ) -> TraceCollection:
+        """Run the test suite under the tracer (``CollectModels``)."""
+        breakpoints = None
+        if locations is not None:
+            breakpoints = [Location(function_name, name) for name in locations]
+        traces = collect_models(
+            self.program,
+            function_name,
+            test_cases,
+            breakpoints=breakpoints,
+            config=self.config.interpreter_config(),
+        )
+        if self.config.discard_crashed_runs:
+            kept_runs = []
+            kept_events = []
+            for run, outcome in zip(traces.runs, traces.outcomes):
+                if outcome.crashed:
+                    kept_runs.append([])
+                else:
+                    kept_runs.append(run)
+                    kept_events.extend(run)
+            traces.runs = kept_runs
+            traces.events = kept_events
+        return traces
+
+    # ---------------------------------------------------------------- inference --
+
+    def infer_from_models(
+        self,
+        models: Sequence[StackHeapModel],
+        location: str = "<location>",
+        free_vars: Sequence[str] | None = None,
+    ) -> list[Invariant]:
+        """Algorithm 1 over already-collected stack-heap models."""
+        if not models:
+            return []
+        variables = self._common_pointer_vars(models)
+        order = self._order_variables(models, variables)
+
+        results = [
+            InferredResult(
+                models=list(models),
+                instantiations=[dict() for _ in models],
+            )
+        ]
+        for variable in order:
+            next_results: list[InferredResult] = []
+            for result in results:
+                split = split_heap(result.models, variable, self.program.structs)
+                atom_results = infer_atoms(
+                    variable,
+                    list(split.sub_models),
+                    split.boundary,
+                    self.predicates,
+                    self.checker,
+                    self.program.structs,
+                    self.config.atom_config(),
+                )
+                for atom_result in atom_results:
+                    atoms = list(result.atoms)
+                    exists = list(result.exists)
+                    if atom_result.atom is not None:
+                        atoms.append(atom_result.atom)
+                        exists.extend(atom_result.exists)
+                    residual = models_union(
+                        list(split.rest_models), list(atom_result.residual_models)
+                    )
+                    next_results.append(
+                        InferredResult(
+                            atoms=atoms,
+                            exists=exists,
+                            models=residual,
+                            instantiations=merge_instantiations(
+                                result.instantiations, atom_result.instantiations
+                            ),
+                        )
+                    )
+            if next_results:
+                next_results.sort(key=lambda r: (r.residual_cells(), -r.spatial_atom_count()))
+                results = next_results[: self.config.max_total_results]
+
+        return self._finalize(results, models, location, free_vars)
+
+    def infer_at(
+        self,
+        function_name: str,
+        location_name: str,
+        test_cases: Sequence[TestCase],
+    ) -> list[Invariant]:
+        """Infer invariants at one location of a function."""
+        traces = self.collect(function_name, test_cases, locations=[location_name])
+        models = traces.models_at(Location(function_name, location_name))
+        free_vars = self._free_vars_for(function_name, location_name)
+        return self.infer_from_models(models, location=location_name, free_vars=free_vars)
+
+    def infer_function(
+        self, function_name: str, test_cases: Sequence[TestCase]
+    ) -> Specification:
+        """Infer a full specification (pre, posts, loop invariants) for a function."""
+        start = time.perf_counter()
+        function = self.program.get_function(function_name)
+        traces = self.collect(function_name, test_cases)
+        specification = Specification(function=function_name)
+
+        reached = {location.name for location in traces.locations()}
+        for location_name in function.locations():
+            if location_name not in reached:
+                specification.unreached_locations.append(location_name)
+
+        entry_models = traces.models_at(Location(function_name, "entry"))
+        specification.preconditions = self.infer_from_models(
+            entry_models,
+            location="entry",
+            free_vars=self._free_vars_for(function_name, "entry"),
+        )
+        self._mark_freed(specification.preconditions, entry_models)
+
+        for return_location in function.return_locations():
+            models = traces.models_at(Location(function_name, return_location))
+            invariants = self.infer_from_models(
+                models,
+                location=return_location,
+                free_vars=self._free_vars_for(function_name, return_location),
+            )
+            self._mark_freed(invariants, models)
+            specification.postconditions[return_location] = invariants
+
+        for loop_location in function.loop_locations():
+            models = traces.models_at(Location(function_name, loop_location))
+            invariants = self.infer_from_models(models, location=loop_location)
+            self._mark_freed(invariants, models)
+            specification.loop_invariants[loop_location] = invariants
+
+        specification.validated = self._validate(specification, traces, function_name)
+        specification.inference_seconds = time.perf_counter() - start
+        return specification
+
+    # ------------------------------------------------------------------ internals --
+
+    def _finalize(
+        self,
+        results: Sequence[InferredResult],
+        models: Sequence[StackHeapModel],
+        location: str,
+        free_vars: Sequence[str] | None,
+    ) -> list[Invariant]:
+        """Add pure equalities, quantify out-of-scope variables, deduplicate."""
+        stack_names = [name for name, _ in models[0].stack]
+        free = set(free_vars) if free_vars is not None else set(stack_names)
+        invariants: list[Invariant] = []
+        seen: set[str] = set()
+        from_freed = any(model.has_freed_cells() for model in models)
+
+        for result in results:
+            pure = infer_pure_equalities(models, result.instantiations)
+            spatial = star(*result.atoms)
+            pure_formula = conjoin(pure)
+            used = spatial.free_vars() | pure_formula.free_vars()
+            exists = list(dict.fromkeys(result.exists))
+            for name in stack_names:
+                if name in used and name not in free and name not in exists:
+                    exists.append(name)
+            formula = _normalize_existentials(
+                SymHeap(exists=exists, spatial=spatial, pure=pure_formula), free
+            )
+            rendered = pretty(formula)
+            if rendered in seen:
+                continue
+            seen.add(rendered)
+            invariants.append(
+                Invariant(location=location, formula=formula, from_freed_traces=from_freed)
+            )
+            if len(invariants) >= self.config.max_invariants_per_location:
+                break
+        return invariants
+
+    def _common_pointer_vars(self, models: Sequence[StackHeapModel]) -> list[str]:
+        """Pointer variables (plus ``res`` when present) common to all models."""
+        common: list[str] | None = None
+        for model in models:
+            names = model.pointer_vars()
+            if common is None:
+                common = names
+            else:
+                common = [name for name in common if name in names]
+        return common or []
+
+    def _order_variables(
+        self, models: Sequence[StackHeapModel], variables: Sequence[str]
+    ) -> list[str]:
+        """The paper's heuristic: follow reachability from already-analysed variables."""
+        strategy = self.config.variable_order
+        if strategy == "stack":
+            return list(variables)
+        if strategy == "reverse":
+            return list(reversed(variables))
+
+        remaining = list(variables)
+        order: list[str] = []
+        reach_cache = [
+            {
+                name: model.heap.reachable_from([model.value_of(name)])
+                for name in remaining
+                if model.has_var(name)
+            }
+            for model in models
+        ]
+        while remaining:
+            chosen = None
+            if order:
+                for candidate in remaining:
+                    if self._directly_reachable(candidate, order, models, reach_cache):
+                        chosen = candidate
+                        break
+            if chosen is None:
+                chosen = remaining[0]
+            order.append(chosen)
+            remaining.remove(chosen)
+        return order
+
+    @staticmethod
+    def _directly_reachable(
+        candidate: str,
+        processed: Sequence[str],
+        models: Sequence[StackHeapModel],
+        reach_cache: Sequence[dict[str, frozenset[int]]],
+    ) -> bool:
+        for model, reach in zip(models, reach_cache):
+            if not model.has_var(candidate):
+                continue
+            value = model.value_of(candidate)
+            for previous in processed:
+                if value != 0 and value in reach.get(previous, frozenset()):
+                    return True
+                if model.has_var(previous) and model.value_of(previous) == value:
+                    return True
+        return False
+
+    def _free_vars_for(self, function_name: str, location_name: str) -> list[str] | None:
+        """Free variables of pre/postconditions: parameters and ``res`` only."""
+        function = self.program.get_function(function_name)
+        params = [name for name, _ in function.params]
+        if location_name == "entry":
+            return params
+        if location_name.startswith("ret#"):
+            return params + ["res"]
+        return None
+
+    @staticmethod
+    def _mark_freed(invariants: list[Invariant], models: Sequence[StackHeapModel]) -> None:
+        """Propagate the freed-cell flag onto invariants (kept for clarity)."""
+        # ``infer_from_models`` already sets the flag; this hook exists so the
+        # specification-level driver documents where the paper's "spurious
+        # because of free()" classification happens.
+        del invariants, models
+
+    def _validate(
+        self, specification: Specification, traces: TraceCollection, function_name: str
+    ) -> bool:
+        """Frame-rule validation of the pre/post combination (Section 4.4)."""
+        if not specification.preconditions:
+            return True
+        precondition = specification.preconditions[0]
+        all_valid = True
+        for return_location, invariants in specification.postconditions.items():
+            if not invariants:
+                continue
+            pairs = paired_entry_exit_models(traces, function_name, return_location)
+            if not pairs:
+                continue
+            valid = validate_specification(precondition, invariants[0], pairs, self.checker)
+            if not valid:
+                all_valid = False
+                specification.postconditions[return_location] = [
+                    replace(invariant, spurious=True) for invariant in invariants
+                ]
+        return all_valid
+
+
+def _normalize_existentials(formula: SymHeap, free: set[str]) -> SymHeap:
+    """Rename machine-generated existentials to ``u1, u2, ...`` for readability.
+
+    Variables that correspond to out-of-scope program variables (e.g. a local
+    ``tmp`` quantified in a postcondition) keep their names; only the fresh
+    ``u<N>``/``_v<N>`` names produced during the search are renumbered, in
+    order of appearance, avoiding clashes with free variables.
+    """
+    from repro.sl.exprs import Var
+
+    generated = [
+        name for name in formula.exists if name.startswith("u") and name[1:].isdigit()
+    ] + [name for name in formula.exists if name.startswith("_v")]
+    if not generated:
+        return formula
+    renaming: dict[str, Var] = {}
+    counter = 1
+    taken = set(free) | set(formula.exists)
+    for name in generated:
+        while f"u{counter}" in taken:
+            counter += 1
+        new_name = f"u{counter}"
+        counter += 1
+        renaming[name] = Var(new_name)
+        taken.add(new_name)
+    new_exists = tuple(renaming[name].name if name in renaming else name for name in formula.exists)
+    renamed = SymHeap(
+        (),
+        formula.spatial.substitute(renaming),
+        formula.pure.substitute(renaming),
+    )
+    return SymHeap(new_exists, renamed.spatial, renamed.pure)
+
+
+# ---------------------------------------------------------------------------
+# Convenience functions
+# ---------------------------------------------------------------------------
+
+
+def infer_invariants(
+    program: Program,
+    function_name: str,
+    location_name: str,
+    predicates: PredicateRegistry,
+    test_cases: Sequence[TestCase],
+    config: SlingConfig | None = None,
+) -> list[Invariant]:
+    """Infer invariants at one location (see :class:`Sling.infer_at`)."""
+    return Sling(program, predicates, config).infer_at(function_name, location_name, test_cases)
+
+
+def infer_specification(
+    program: Program,
+    function_name: str,
+    predicates: PredicateRegistry,
+    test_cases: Sequence[TestCase],
+    config: SlingConfig | None = None,
+) -> Specification:
+    """Infer a function specification (see :class:`Sling.infer_function`)."""
+    return Sling(program, predicates, config).infer_function(function_name, test_cases)

@@ -1,0 +1,79 @@
+"""Frame-rule validation of inferred specifications (Section 4.4).
+
+A precondition ``P`` inferred at the entry and a postcondition ``Q`` inferred
+at an exit of a function describe sub-heaps of the memory observed at those
+two points.  By the frame rule, the parts *not* described (the residual
+heaps) must be the same memory region on both sides -- otherwise the
+combination ``{P} C {Q}`` cannot be framed up to the full observed states and
+the pair is reported as spurious.
+
+``validate_specification`` pairs the entry model and the exit model of each
+test-case run (the outermost activation), computes the residual heaps of the
+candidate pre/postconditions with the model checker and compares their
+domains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.results import Invariant
+from repro.lang.tracer import Location, TraceCollection, TraceEvent
+from repro.sl.checker import ModelChecker
+from repro.sl.model import StackHeapModel
+
+
+def validate_specification(
+    precondition: Invariant,
+    postcondition: Invariant,
+    paired_models: Sequence[tuple[StackHeapModel, StackHeapModel]],
+    checker: ModelChecker,
+) -> bool:
+    """Check pre/post residual-heap agreement over paired entry/exit models."""
+    for entry_model, exit_model in paired_models:
+        entry_check = checker.check(entry_model, precondition.formula)
+        exit_check = checker.check(exit_model, postcondition.formula)
+        if entry_check is None or exit_check is None:
+            # The invariant does not even hold on the paired model; the
+            # specification cannot be validated.
+            return False
+        if entry_check.residual.domain() != exit_check.residual.domain():
+            return False
+    return True
+
+
+def paired_entry_exit_models(
+    traces: TraceCollection,
+    function: str,
+    exit_location: str,
+) -> list[tuple[StackHeapModel, StackHeapModel]]:
+    """Pair the outermost entry model with the final exit model of each run.
+
+    For recursive functions a run produces several entry and exit events; the
+    outermost activation is the first entry and the last exit, which is the
+    pair related by the function's specification as observed from the caller.
+    """
+    entry_loc = Location(function, "entry")
+    exit_loc = Location(function, exit_location)
+    pairs: list[tuple[StackHeapModel, StackHeapModel]] = []
+    for run in traces.runs:
+        entry_model = _first_at(run, entry_loc)
+        exit_model = _last_at(run, exit_loc)
+        if entry_model is not None and exit_model is not None:
+            pairs.append((entry_model, exit_model))
+    return pairs
+
+
+def _first_at(run: Sequence[TraceEvent], location: Location) -> StackHeapModel | None:
+    for event in run:
+        if event.location == location:
+            return event.model
+    return None
+
+
+def _last_at(run: Sequence[TraceEvent], location: Location) -> StackHeapModel | None:
+    found = None
+    for event in run:
+        if event.location == location:
+            found = event.model
+    return found

@@ -1,0 +1,280 @@
+"""Generators that build concrete data structures inside a runtime heap.
+
+Section 5.2 of the paper explains the test-input protocol: each program is
+run on the empty structure plus randomly generated structures of a fixed
+size (10).  These helpers construct those inputs directly in a
+:class:`~repro.lang.heap.RuntimeHeap` and return the root address(es), so a
+benchmark's test cases are small closures of the form
+``lambda heap: [make_dll(heap, rng, 10), make_dll(heap, rng, 10)]``.
+
+All generators take an explicit :class:`random.Random` so test inputs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.lang.heap import RuntimeHeap
+
+#: Type of the per-structure generator callables used by the benchmarks.
+StructureGenerator = Callable[[RuntimeHeap, random.Random, int], int]
+
+
+# ---------------------------------------------------------------------------
+# Linked lists
+# ---------------------------------------------------------------------------
+
+
+def make_sll(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A nil-terminated singly-linked list of ``SllNode`` cells."""
+    head = 0
+    for _ in range(size):
+        head = heap.alloc("SllNode", {"next": head})
+    return head
+
+
+def make_sll_data(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A nil-terminated singly-linked list of ``SNode`` cells with random data."""
+    head = 0
+    for _ in range(size):
+        head = heap.alloc("SNode", {"next": head, "data": rng.randrange(0, 100)})
+    return head
+
+
+def make_sorted_sll(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """An ascending sorted singly-linked list of ``SNode`` cells."""
+    values = sorted(rng.randrange(0, 100) for _ in range(size))
+    head = 0
+    for value in reversed(values):
+        head = heap.alloc("SNode", {"next": head, "data": value})
+    return head
+
+
+def make_glib_sll(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A glib-style singly-linked list of ``GSNode`` cells with random data."""
+    head = 0
+    for _ in range(size):
+        head = heap.alloc("GSNode", {"next": head, "data": rng.randrange(0, 100)})
+    return head
+
+
+def make_dll(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A nil-terminated doubly-linked list of ``DllNode`` cells."""
+    return _make_doubly_linked(heap, size, "DllNode", with_data=False, rng=rng)
+
+
+def make_glib_dll(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A glib-style doubly-linked list of ``GNode`` cells with random data."""
+    return _make_doubly_linked(heap, size, "GNode", with_data=True, rng=rng)
+
+
+def make_mem_chunk_list(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A doubly-linked list of ``MemChunk`` cells with random sizes."""
+    if size == 0:
+        return 0
+    nodes = [
+        heap.alloc("MemChunk", {"size": rng.choice([16, 32, 64, 128, 256])})
+        for _ in range(size)
+    ]
+    _link_doubly(heap, nodes)
+    return nodes[0]
+
+
+def _make_doubly_linked(
+    heap: RuntimeHeap, size: int, type_name: str, with_data: bool, rng: random.Random
+) -> int:
+    if size == 0:
+        return 0
+    nodes = []
+    for _ in range(size):
+        inits = {"data": rng.randrange(0, 100)} if with_data else {}
+        nodes.append(heap.alloc(type_name, inits))
+    _link_doubly(heap, nodes)
+    return nodes[0]
+
+
+def _link_doubly(heap: RuntimeHeap, nodes: Sequence[int]) -> None:
+    for index, address in enumerate(nodes):
+        heap.write(address, "next", nodes[index + 1] if index + 1 < len(nodes) else 0)
+        heap.write(address, "prev", nodes[index - 1] if index > 0 else 0)
+
+
+def make_circular_list(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A circular singly-linked list of ``CNode`` cells (last node points to the head)."""
+    if size == 0:
+        return 0
+    nodes = [
+        heap.alloc("CNode", {"data": rng.randrange(0, 100)}) for _ in range(size)
+    ]
+    for index, address in enumerate(nodes):
+        heap.write(address, "next", nodes[(index + 1) % len(nodes)])
+    return nodes[0]
+
+
+def make_nested_list(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A list of ``NlNode`` cells, each owning a small singly-linked child list."""
+    head = 0
+    for _ in range(size):
+        child = make_sll(heap, rng, rng.randrange(0, 4))
+        head = heap.alloc("NlNode", {"next": head, "child": child})
+    return head
+
+
+def make_queue(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """An OpenBSD-style queue: a ``Queue`` header plus a chain of ``QNode`` cells."""
+    nodes = [heap.alloc("QNode") for _ in range(size)]
+    for index, address in enumerate(nodes):
+        heap.write(address, "next", nodes[index + 1] if index + 1 < len(nodes) else 0)
+    head = nodes[0] if nodes else 0
+    tail = nodes[-1] if nodes else 0
+    return heap.alloc("Queue", {"head": head, "tail": tail})
+
+
+# ---------------------------------------------------------------------------
+# Trees
+# ---------------------------------------------------------------------------
+
+
+def make_tree(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A random binary tree of ``TNode`` cells with ``size`` nodes."""
+    if size == 0:
+        return 0
+    left_size = rng.randrange(0, size)
+    left = make_tree(heap, rng, left_size)
+    right = make_tree(heap, rng, size - 1 - left_size)
+    return heap.alloc("TNode", {"left": left, "right": right})
+
+
+def make_sw_tree(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A random binary tree of unmarked ``SwNode`` cells (Schorr-Waite input)."""
+    if size == 0:
+        return 0
+    left_size = rng.randrange(0, size)
+    left = make_sw_tree(heap, rng, left_size)
+    right = make_sw_tree(heap, rng, size - 1 - left_size)
+    return heap.alloc("SwNode", {"left": left, "right": right, "mark": 0})
+
+
+def make_bst(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A binary search tree of ``BstNode`` cells over distinct random keys."""
+    root = 0
+    keys = rng.sample(range(0, 1000), size)
+    for key in keys:
+        root = _bst_insert(heap, root, key)
+    return root
+
+
+def _bst_insert(heap: RuntimeHeap, root: int, key: int) -> int:
+    if root == 0:
+        return heap.alloc("BstNode", {"data": key})
+    if key < heap.read(root, "data"):
+        heap.write(root, "left", _bst_insert(heap, heap.read(root, "left"), key))
+    else:
+        heap.write(root, "right", _bst_insert(heap, heap.read(root, "right"), key))
+    return root
+
+
+def make_avl(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A height-balanced AVL tree of ``AvlNode`` cells with correct height fields."""
+    keys = sorted(rng.sample(range(0, 1000), size))
+    return _avl_from_sorted(heap, keys)
+
+
+def _avl_from_sorted(heap: RuntimeHeap, keys: Sequence[int]) -> int:
+    if not keys:
+        return 0
+    middle = len(keys) // 2
+    left = _avl_from_sorted(heap, keys[:middle])
+    right = _avl_from_sorted(heap, keys[middle + 1 :])
+    height = 1 + max(_avl_height(heap, left), _avl_height(heap, right))
+    return heap.alloc(
+        "AvlNode", {"left": left, "right": right, "data": keys[middle], "height": height}
+    )
+
+
+def _avl_height(heap: RuntimeHeap, node: int) -> int:
+    return 0 if node == 0 else heap.read(node, "height")
+
+
+def make_max_heap_tree(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A max-heap-ordered binary tree of ``PNode`` cells (priority tree)."""
+    values = sorted((rng.randrange(0, 1000) for _ in range(size)), reverse=True)
+    return _pheap_from_sorted(heap, values)
+
+
+def _pheap_from_sorted(heap: RuntimeHeap, values: Sequence[int]) -> int:
+    if not values:
+        return 0
+    # The largest value becomes the root; remaining values are split between
+    # subtrees, preserving the heap order because they are all smaller.
+    rest = values[1:]
+    middle = len(rest) // 2
+    left = _pheap_from_sorted(heap, rest[:middle])
+    right = _pheap_from_sorted(heap, rest[middle:])
+    return heap.alloc("PNode", {"left": left, "right": right, "data": values[0]})
+
+
+def make_red_black_tree(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A valid red-black tree of ``RbNode`` cells (0 = black, 1 = red)."""
+    keys = sorted(rng.sample(range(0, 1000), size))
+    root = _rbt_from_sorted(heap, keys, _perfect_black_height(size))
+    if root != 0:
+        heap.write(root, "color", 0)
+    return root
+
+
+def _perfect_black_height(size: int) -> int:
+    height = 0
+    while (1 << (height + 1)) - 1 <= size:
+        height += 1
+    return max(height, 1)
+
+
+def _rbt_from_sorted(heap: RuntimeHeap, keys: Sequence[int], black_budget: int) -> int:
+    """Build a balanced tree and colour the deepest over-full levels red."""
+    if not keys:
+        return 0
+    middle = len(keys) // 2
+    depth_is_black = black_budget > 0
+    left = _rbt_from_sorted(heap, keys[:middle], black_budget - 1)
+    right = _rbt_from_sorted(heap, keys[middle + 1 :], black_budget - 1)
+    color = 0 if depth_is_black else 1
+    # Red nodes must have black children: when this node is red, repaint the
+    # children black (they are leaves at this depth by construction).
+    if color == 1:
+        for child in (left, right):
+            if child != 0:
+                heap.write(child, "color", 0)
+    return heap.alloc("RbNode", {"left": left, "right": right, "data": keys[middle], "color": color})
+
+
+def make_binomial_heap(heap: RuntimeHeap, rng: random.Random, size: int) -> int:
+    """A forest of binomial trees (child/sibling representation) of ``size`` nodes."""
+    roots: list[int] = []
+    remaining = size
+    order = 0
+    while remaining > 0:
+        if remaining & 1:
+            roots.append(_binomial_tree(heap, rng, order))
+        remaining >>= 1
+        order += 1
+    head = 0
+    for root in reversed(roots):
+        heap.write(root, "sibling", head)
+        head = root
+    return head
+
+
+def _binomial_tree(heap: RuntimeHeap, rng: random.Random, order: int) -> int:
+    node = heap.alloc(
+        "BinNode", {"degree": order, "data": rng.randrange(0, 1000)}
+    )
+    child_head = 0
+    for child_order in range(order - 1, -1, -1):
+        child = _binomial_tree(heap, rng, child_order)
+        heap.write(child, "sibling", child_head)
+        child_head = child
+    heap.write(node, "child", child_head)
+    return node

@@ -1,0 +1,15 @@
+"""Evaluation harnesses regenerating the paper's Table 1 and Table 2."""
+
+from repro.evaluation.table1 import CategoryRow, Table1Result, run_table1, format_table1
+from repro.evaluation.table2 import Table2Row, Table2Result, run_table2, format_table2
+
+__all__ = [
+    "CategoryRow",
+    "Table1Result",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "Table2Result",
+    "run_table2",
+    "format_table2",
+]

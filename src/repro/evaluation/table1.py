@@ -1,0 +1,234 @@
+"""Table 1: per-category invariant-inference results.
+
+For every benchmark program the harness collects traces at its locations of
+interest (function entry, loop heads, return statements), runs SLING and
+aggregates per category:
+
+* the number of programs and their size,
+* the number of target locations (``iLocs``), collected traces and inferred
+  invariants (with the spurious count in parentheses),
+* the A/S/X classification (all locations covered / some locations covered or
+  spurious results / no traces at some locations),
+* total analysis time, and
+* the average number of singleton predicates, inductive predicates and pure
+  equalities per invariant.
+
+Run it from the command line with ``python -m repro.evaluation.table1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.benchsuite.registry import BenchmarkProgram, benchmarks_by_category
+from repro.core.results import Specification
+from repro.core.sling import Sling, SlingConfig
+
+
+@dataclass
+class ProgramResult:
+    """Per-program measurements feeding one Table 1 row."""
+
+    name: str
+    loc: int
+    locations: int
+    traces: int
+    invariants: int
+    spurious: int
+    classification: str  # "A", "S" or "X"
+    seconds: float
+    singleton_atoms: int
+    inductive_atoms: int
+    pure_atoms: int
+    specification: Specification | None = None
+
+
+@dataclass
+class CategoryRow:
+    """One aggregated row of Table 1."""
+
+    category: str
+    programs: list[ProgramResult] = field(default_factory=list)
+
+    @property
+    def program_count(self) -> int:
+        return len(self.programs)
+
+    @property
+    def loc(self) -> int:
+        return sum(result.loc for result in self.programs)
+
+    @property
+    def locations(self) -> int:
+        return sum(result.locations for result in self.programs)
+
+    @property
+    def traces(self) -> int:
+        return sum(result.traces for result in self.programs)
+
+    @property
+    def invariants(self) -> int:
+        return sum(result.invariants for result in self.programs)
+
+    @property
+    def spurious(self) -> int:
+        return sum(result.spurious for result in self.programs)
+
+    @property
+    def seconds(self) -> float:
+        return sum(result.seconds for result in self.programs)
+
+    @property
+    def a_s_x(self) -> tuple[int, int, int]:
+        counts = {"A": 0, "S": 0, "X": 0}
+        for result in self.programs:
+            counts[result.classification] += 1
+        return counts["A"], counts["S"], counts["X"]
+
+    def _per_invariant(self, attribute: str) -> float:
+        total_invariants = self.invariants
+        if total_invariants == 0:
+            return 0.0
+        return sum(getattr(result, attribute) for result in self.programs) / total_invariants
+
+    @property
+    def avg_singletons(self) -> float:
+        return self._per_invariant("singleton_atoms")
+
+    @property
+    def avg_inductives(self) -> float:
+        return self._per_invariant("inductive_atoms")
+
+    @property
+    def avg_pures(self) -> float:
+        return self._per_invariant("pure_atoms")
+
+
+@dataclass
+class Table1Result:
+    """All rows plus overall totals."""
+
+    rows: list[CategoryRow]
+
+    def totals(self) -> dict[str, float]:
+        return {
+            "programs": sum(row.program_count for row in self.rows),
+            "loc": sum(row.loc for row in self.rows),
+            "locations": sum(row.locations for row in self.rows),
+            "traces": sum(row.traces for row in self.rows),
+            "invariants": sum(row.invariants for row in self.rows),
+            "spurious": sum(row.spurious for row in self.rows),
+            "seconds": sum(row.seconds for row in self.rows),
+        }
+
+
+def evaluate_program(
+    benchmark: BenchmarkProgram, config: SlingConfig | None = None, seed: int = 0
+) -> ProgramResult:
+    """Run SLING on one benchmark and compute its Table 1 measurements."""
+    config = config or SlingConfig(discard_crashed_runs=True)
+    sling = Sling(benchmark.program, benchmark.predicates, config)
+    test_cases = benchmark.test_cases(seed=seed)
+    function = benchmark.program.get_function(benchmark.function)
+
+    start = time.perf_counter()
+    traces = sling.collect(benchmark.function, test_cases)
+    specification = sling.infer_function(benchmark.function, test_cases)
+    seconds = time.perf_counter() - start
+
+    invariants = specification.all_invariants()
+    spurious = specification.spurious_count()
+    # Count only entry / loops / returns as target locations (labels are
+    # illustration aids), matching how the specification driver works.
+    target_locations = 1 + len(function.loop_locations()) + len(function.return_locations())
+
+    if not invariants and traces.total_models() == 0:
+        classification = "X"
+    elif specification.unreached_locations or spurious or not specification.validated:
+        classification = "S"
+    else:
+        classification = "A"
+
+    return ProgramResult(
+        name=benchmark.name,
+        loc=benchmark.loc(),
+        locations=target_locations,
+        traces=traces.total_models(),
+        invariants=len(invariants),
+        spurious=spurious,
+        classification=classification,
+        seconds=seconds,
+        singleton_atoms=sum(invariant.singleton_count() for invariant in invariants),
+        inductive_atoms=sum(invariant.predicate_count() for invariant in invariants),
+        pure_atoms=sum(invariant.pure_count() for invariant in invariants),
+        specification=specification,
+    )
+
+
+def run_table1(
+    categories: Sequence[str] | None = None,
+    config: SlingConfig | None = None,
+    seed: int = 0,
+    max_programs_per_category: int | None = None,
+) -> Table1Result:
+    """Evaluate the benchmark suite and build Table 1."""
+    rows: list[CategoryRow] = []
+    for category, benchmarks in benchmarks_by_category().items():
+        if categories is not None and category not in categories:
+            continue
+        if max_programs_per_category is not None:
+            benchmarks = benchmarks[:max_programs_per_category]
+        row = CategoryRow(category=category)
+        for benchmark in benchmarks:
+            row.programs.append(evaluate_program(benchmark, config=config, seed=seed))
+        rows.append(row)
+    return Table1Result(rows=rows)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table 1 in the paper's column layout."""
+    header = (
+        f"{'Category':34s} {'Progs':>5s} {'LoC':>5s} {'iLocs':>5s} {'Traces':>7s} "
+        f"{'Invs':>10s} {'A/S/X':>8s} {'Time(s)':>8s} {'Single':>7s} {'Pred':>6s} {'Pure':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        a, s, x = row.a_s_x
+        invariants = f"{row.invariants}({row.spurious})" if row.spurious else f"{row.invariants}"
+        lines.append(
+            f"{row.category:34s} {row.program_count:5d} {row.loc:5d} {row.locations:5d} "
+            f"{row.traces:7d} {invariants:>10s} {f'{a}/{s}/{x}':>8s} {row.seconds:8.2f} "
+            f"{row.avg_singletons:7.2f} {row.avg_inductives:6.2f} {row.avg_pures:6.2f}"
+        )
+    totals = result.totals()
+    total_invariants = f"{int(totals['invariants'])}({int(totals['spurious'])})"
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'Total':34s} {totals['programs']:5.0f} {totals['loc']:5.0f} {totals['locations']:5.0f} "
+        f"{totals['traces']:7.0f} {total_invariants:>10s} {'':>8s} {totals['seconds']:8.2f}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Regenerate Table 1 of the SLING paper.")
+    parser.add_argument("--category", action="append", help="restrict to a category (repeatable)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
+    parser.add_argument(
+        "--max-programs", type=int, default=None, help="cap programs per category (smoke runs)"
+    )
+    arguments = parser.parse_args()
+    result = run_table1(
+        categories=arguments.category,
+        seed=arguments.seed,
+        max_programs_per_category=arguments.max_programs,
+    )
+    print(format_table1(result))
+
+
+if __name__ == "__main__":
+    main()

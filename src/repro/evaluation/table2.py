@@ -1,0 +1,132 @@
+"""Table 2: SLING vs the S2-like static baseline on documented properties.
+
+For every benchmark program, the documented properties (specifications and
+loop invariants) are checked against
+
+* SLING's inferred specification (dynamic analysis over the test inputs), and
+* the simplified S2 baseline (:mod:`repro.baselines.s2`),
+
+and each property is placed in one of the four buckets of the paper's
+Table 2: found by Both, only by S2, only by SLING, or by Neither.
+
+Run it from the command line with ``python -m repro.evaluation.table2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines.s2 import S2Analyzer
+from repro.benchsuite.registry import benchmarks_by_category
+from repro.core.sling import Sling, SlingConfig
+
+
+@dataclass
+class Table2Row:
+    """One aggregated row of Table 2 (a benchmark category)."""
+
+    category: str
+    total: int = 0
+    both: int = 0
+    s2_only: int = 0
+    sling_only: int = 0
+    neither: int = 0
+
+    def add(self, sling_found: bool, s2_found: bool) -> None:
+        self.total += 1
+        if sling_found and s2_found:
+            self.both += 1
+        elif s2_found:
+            self.s2_only += 1
+        elif sling_found:
+            self.sling_only += 1
+        else:
+            self.neither += 1
+
+
+@dataclass
+class Table2Result:
+    """All category rows plus the summary row."""
+
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def summary(self) -> Table2Row:
+        total = Table2Row(category="Total Sum")
+        for row in self.rows:
+            total.total += row.total
+            total.both += row.both
+            total.s2_only += row.s2_only
+            total.sling_only += row.sling_only
+            total.neither += row.neither
+        return total
+
+
+def run_table2(
+    categories: Sequence[str] | None = None,
+    config: SlingConfig | None = None,
+    seed: int = 0,
+    max_programs_per_category: int | None = None,
+) -> Table2Result:
+    """Compare SLING and the S2 baseline over the documented properties."""
+    config = config or SlingConfig(discard_crashed_runs=True)
+    analyzer = S2Analyzer()
+    result = Table2Result()
+    for category, benchmarks in benchmarks_by_category().items():
+        if categories is not None and category not in categories:
+            continue
+        if max_programs_per_category is not None:
+            benchmarks = benchmarks[:max_programs_per_category]
+        row = Table2Row(category=category)
+        for benchmark in benchmarks:
+            if not benchmark.documented:
+                continue
+            sling = Sling(benchmark.program, benchmark.predicates, config)
+            specification = sling.infer_function(benchmark.function, benchmark.test_cases(seed))
+            s2_result = analyzer.analyze(benchmark)
+            s2_found = set(id(prop) for prop in s2_result.found_properties)
+            for documented in benchmark.documented:
+                sling_found = documented.check(specification)
+                row.add(sling_found, id(documented) in s2_found)
+        result.rows.append(row)
+    return result
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table 2 in the paper's column layout."""
+    header = f"{'Programs':34s} {'Total':>6s} {'Both':>6s} {'S2':>6s} {'SLING':>6s} {'Neither':>8s}"
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        lines.append(
+            f"{row.category:34s} {row.total:6d} {row.both:6d} {row.s2_only:6d} "
+            f"{row.sling_only:6d} {row.neither:8d}"
+        )
+    summary = result.summary()
+    lines.append("-" * len(header))
+    lines.append(
+        f"{summary.category:34s} {summary.total:6d} {summary.both:6d} {summary.s2_only:6d} "
+        f"{summary.sling_only:6d} {summary.neither:8d}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Regenerate Table 2 of the SLING paper.")
+    parser.add_argument("--category", action="append", help="restrict to a category (repeatable)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
+    parser.add_argument(
+        "--max-programs", type=int, default=None, help="cap programs per category (smoke runs)"
+    )
+    arguments = parser.parse_args()
+    result = run_table2(
+        categories=arguments.category,
+        seed=arguments.seed,
+        max_programs_per_category=arguments.max_programs,
+    )
+    print(format_table2(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Concise constructors for writing heaplang programs.
+
+The benchmark suite defines well over a hundred functions; these helpers keep
+those definitions close to the original C in shape and length.  Example (the
+paper's Figure 1)::
+
+    concat = Function(
+        "concat", [("x", "DllNode*"), ("y", "DllNode*")], "DllNode*",
+        [
+            Label("L1"),
+            If(eq(v("x"), null()), [
+                Label("L2"),
+                Return(v("y")),
+            ], [
+                Assign("tmp", call("concat", field(v("x"), "next"), v("y"))),
+                Store(v("x"), "next", v("tmp")),
+                If(ne(v("tmp"), null()), [Store(v("tmp"), "prev", v("x"))]),
+                Label("L3"),
+                Return(v("x")),
+            ]),
+        ],
+    )
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    BinOp,
+    Call,
+    Expr,
+    FieldAccess,
+    I,
+    Null,
+    UnOp,
+    V,
+)
+
+__all__ = [
+    "v",
+    "i",
+    "null",
+    "field",
+    "call",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "add",
+    "sub",
+    "mul",
+    "and_",
+    "or_",
+    "not_",
+    "is_null",
+    "not_null",
+]
+
+
+def v(name: str) -> V:
+    """A variable reference."""
+    return V(name)
+
+
+def i(value: int) -> I:
+    """An integer literal."""
+    return I(value)
+
+
+def null() -> Null:
+    """The null pointer."""
+    return Null()
+
+
+def field(obj: Expr | str, name: str) -> FieldAccess:
+    """``obj->name``; a string ``obj`` is treated as a variable."""
+    return FieldAccess(v(obj) if isinstance(obj, str) else obj, name)
+
+
+def call(func: str, *args: Expr) -> Call:
+    """A function call expression."""
+    return Call(func, args)
+
+
+def eq(left: Expr, right: Expr) -> BinOp:
+    """``left == right``"""
+    return BinOp("==", left, right)
+
+
+def ne(left: Expr, right: Expr) -> BinOp:
+    """``left != right``"""
+    return BinOp("!=", left, right)
+
+
+def lt(left: Expr, right: Expr) -> BinOp:
+    """``left < right``"""
+    return BinOp("<", left, right)
+
+
+def le(left: Expr, right: Expr) -> BinOp:
+    """``left <= right``"""
+    return BinOp("<=", left, right)
+
+
+def gt(left: Expr, right: Expr) -> BinOp:
+    """``left > right``"""
+    return BinOp(">", left, right)
+
+
+def ge(left: Expr, right: Expr) -> BinOp:
+    """``left >= right``"""
+    return BinOp(">=", left, right)
+
+
+def add(left: Expr, right: Expr) -> BinOp:
+    """``left + right``"""
+    return BinOp("+", left, right)
+
+
+def sub(left: Expr, right: Expr) -> BinOp:
+    """``left - right``"""
+    return BinOp("-", left, right)
+
+
+def mul(left: Expr, right: Expr) -> BinOp:
+    """``left * right``"""
+    return BinOp("*", left, right)
+
+
+def and_(left: Expr, right: Expr) -> BinOp:
+    """``left && right``"""
+    return BinOp("&&", left, right)
+
+
+def or_(left: Expr, right: Expr) -> BinOp:
+    """``left || right``"""
+    return BinOp("||", left, right)
+
+
+def not_(operand: Expr) -> UnOp:
+    """``!operand``"""
+    return UnOp("!", operand)
+
+
+def is_null(expr: Expr | str) -> BinOp:
+    """``expr == NULL``; a string is treated as a variable."""
+    return eq(v(expr) if isinstance(expr, str) else expr, null())
+
+
+def not_null(expr: Expr | str) -> BinOp:
+    """``expr != NULL``; a string is treated as a variable."""
+    return ne(v(expr) if isinstance(expr, str) else expr, null())

@@ -1,0 +1,42 @@
+"""Runtime errors raised by the heaplang interpreter.
+
+The benchmark suite contains intentionally buggy programs (the paper marks
+them with ``*``); these surface as the exceptions below, which play the role
+of segmentation faults and other runtime crashes of the original C programs.
+"""
+
+
+class HeapLangError(Exception):
+    """Base class for all heaplang runtime and definition errors."""
+
+
+class NullDereference(HeapLangError):
+    """A field of the null pointer was read or written."""
+
+
+class SegmentationFault(HeapLangError):
+    """An unallocated (or out-of-range) address was dereferenced."""
+
+
+class DoubleFree(HeapLangError):
+    """``free`` was called on an address that is not currently allocated."""
+
+
+class UseAfterFree(HeapLangError):
+    """A freed cell was written through (reads are permitted, mirroring C/LLDB)."""
+
+
+class InterpreterTimeout(HeapLangError):
+    """The program exceeded its execution step budget (e.g. a cyclic-list loop)."""
+
+
+class UndefinedVariable(HeapLangError):
+    """A variable was read before being assigned."""
+
+
+class UndefinedFunction(HeapLangError):
+    """A call referred to a function that is not part of the program."""
+
+
+class TypeMismatch(HeapLangError):
+    """A structure/field access is inconsistent with the declared struct types."""

@@ -1,0 +1,512 @@
+"""Symbolic-heap model checking with residual heaps and instantiations.
+
+This module implements Definition 2 of the paper::
+
+    s, h  ||-  F   ~~>   h', iota
+
+i.e. given a concrete stack-heap model ``(s, h)`` and a symbolic heap ``F``,
+find a *residual* sub-heap ``h' <= h`` and an *instantiation* ``iota`` of
+``F``'s existential variables such that ``s, h \\ h' |=_iota F``.
+
+The paper encodes this problem into Z3 following Brotherston et al. (POPL
+2016).  Z3 is not available in this offline environment, so the checker
+solves the problem directly: because the model is concrete and finite,
+satisfaction is decidable by a backtracking search that unfolds inductive
+predicates, consumes heap cells for points-to atoms and binds existential
+variables by unification against observed values.  Among all valid
+reductions the checker returns one with a *minimal* residual heap (maximal
+coverage), which matches the behaviour SLING relies on in its examples
+(e.g. ``dll(x, u1, u2, tmp)`` covering the whole sub-heap of ``x``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.sl.errors import EvaluationError, UnknownPredicateError
+from repro.sl.exprs import (
+    And,
+    Eq,
+    Expr,
+    Ne,
+    Not,
+    Or,
+    PureFormula,
+    TrueF,
+    FalseF,
+    Var,
+)
+from repro.sl.model import Heap, StackHeapModel
+from repro.sl.predicates import PredicateRegistry
+from repro.sl.spatial import Emp, PointsTo, PredApp, SepConj, Spatial, SymHeap
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of a successful reduction ``s,h ||- F ~~> h', iota``."""
+
+    residual: Heap
+    instantiation: dict[str, int]
+    consumed: frozenset[int]
+
+    def covers_everything(self) -> bool:
+        """True when the formula modelled the entire heap (empty residual)."""
+        return self.residual.is_empty()
+
+
+@dataclass
+class _SearchState:
+    """Mutable bookkeeping shared across one top-level ``check`` call."""
+
+    steps: int = 0
+    solutions: int = 0
+    max_depth: int = 0
+
+
+class CheckBudgetExceeded(Exception):
+    """Internal signal: the search exceeded its step budget."""
+
+
+class ModelChecker:
+    """Checks symbolic heaps against concrete stack-heap models.
+
+    Parameters
+    ----------
+    registry:
+        The inductive predicate definitions that formulas may refer to.
+    max_steps:
+        Upper bound on the number of search steps per ``check`` call; beyond
+        it the best solution found so far is returned (or ``None``).
+    max_solutions:
+        Number of complete reductions to enumerate before settling on the
+        best one found; keeps the search cheap on heavily ambiguous
+        formulas.
+    """
+
+    def __init__(
+        self,
+        registry: PredicateRegistry,
+        max_steps: int = 50_000,
+        max_solutions: int = 64,
+    ):
+        self.registry = registry
+        self.max_steps = max_steps
+        self.max_solutions = max_solutions
+
+    # ------------------------------------------------------------------ API --
+
+    def check(self, model: StackHeapModel, formula: SymHeap) -> CheckResult | None:
+        """Run the reduction of Definition 2; ``None`` when no reduction exists."""
+        stack_env = dict(model.stack)
+        unknowns = set(formula.exists)
+        # Free variables of the formula must be interpretable by the stack.
+        for name in formula.free_vars():
+            if name not in stack_env:
+                return None
+
+        goals = list(formula.spatial_atoms()) + list(_pure_conjuncts(formula.pure))
+        state = _SearchState(max_depth=3 * len(model.heap) + 3 * len(goals) + 30)
+        best: CheckResult | None = None
+        try:
+            for env, available in self._solve(goals, stack_env, unknowns, model.heap.domain(), model, state, 0):
+                consumed = model.heap.domain() - available
+                instantiation = {
+                    name: env[name] for name in formula.exists if name in env
+                }
+                result = CheckResult(
+                    residual=model.heap.restrict(available),
+                    instantiation=instantiation,
+                    consumed=frozenset(consumed),
+                )
+                if best is None or len(result.consumed) > len(best.consumed):
+                    best = result
+                state.solutions += 1
+                if result.covers_everything() or state.solutions >= self.max_solutions:
+                    break
+        except CheckBudgetExceeded:
+            pass
+        return best
+
+    def check_all(
+        self, models: Sequence[StackHeapModel], formula: SymHeap
+    ) -> list[CheckResult] | None:
+        """Check a formula against every model; ``None`` unless all succeed."""
+        results = []
+        for model in models:
+            result = self.check(model, formula)
+            if result is None:
+                return None
+            results.append(result)
+        return results
+
+    def satisfies(self, model: StackHeapModel, formula: SymHeap) -> bool:
+        """Exact satisfaction ``s,h |= F`` (the residual heap must be empty)."""
+        result = self.check(model, formula)
+        return result is not None and result.covers_everything()
+
+    # ------------------------------------------------------------ search core --
+
+    def _solve(
+        self,
+        goals: list[object],
+        env: dict[str, int],
+        unknowns: set[str],
+        available: frozenset[int],
+        model: StackHeapModel,
+        state: _SearchState,
+        depth: int,
+    ) -> Iterator[tuple[dict[str, int], frozenset[int]]]:
+        """Yield (environment, remaining addresses) pairs satisfying all goals."""
+        state.steps += 1
+        if state.steps > self.max_steps:
+            raise CheckBudgetExceeded
+        if depth > state.max_depth:
+            return
+
+        # First discharge all pure goals that are currently decidable; they
+        # never branch, so doing them eagerly prunes the search.
+        goals = list(goals)
+        progress = True
+        while progress:
+            progress = False
+            for index, goal in enumerate(goals):
+                if isinstance(goal, PureFormula):
+                    outcome = self._step_pure(goal, env, unknowns)
+                    if outcome is _FAIL:
+                        return
+                    if outcome is _DEFER:
+                        continue
+                    env = outcome
+                    goals.pop(index)
+                    progress = True
+                    break
+
+        spatial_goals = [goal for goal in goals if isinstance(goal, Spatial)]
+        if not spatial_goals:
+            # Only deferred pure goals remain: constraints over existential
+            # variables that the heap never pinned down (e.g. the outer bounds
+            # of a bst or the lower bound of a sorted-list segment).  Try to
+            # discharge them with a lightweight bound analysis.
+            final_env = self._discharge_deferred(
+                [goal for goal in goals if isinstance(goal, PureFormula)], env, unknowns
+            )
+            if final_env is None:
+                return
+            yield final_env, available
+            return
+
+        goal = self._pick_spatial(spatial_goals, env)
+        rest = list(goals)
+        rest.remove(goal)
+
+        if isinstance(goal, Emp):
+            yield from self._solve(rest, env, unknowns, available, model, state, depth)
+        elif isinstance(goal, PointsTo):
+            yield from self._solve_points_to(goal, rest, env, unknowns, available, model, state, depth)
+        elif isinstance(goal, PredApp):
+            yield from self._solve_pred(goal, rest, env, unknowns, available, model, state, depth)
+        elif isinstance(goal, SepConj):
+            expanded = list(goal.atoms()) + rest
+            yield from self._solve(expanded, env, unknowns, available, model, state, depth)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected spatial goal {goal!r}")
+
+    def _pick_spatial(self, goals: list[Spatial], env: dict[str, int]) -> Spatial:
+        """Prefer atoms whose anchor address is already known (less branching)."""
+        for goal in goals:
+            if isinstance(goal, PointsTo) and _try_eval(goal.source, env) is not None:
+                return goal
+        for goal in goals:
+            if isinstance(goal, PredApp) and goal.args and _try_eval(goal.args[0], env) is not None:
+                return goal
+        return goals[0]
+
+    # -- points-to ---------------------------------------------------------------
+
+    def _solve_points_to(
+        self,
+        goal: PointsTo,
+        rest: list[object],
+        env: dict[str, int],
+        unknowns: set[str],
+        available: frozenset[int],
+        model: StackHeapModel,
+        state: _SearchState,
+        depth: int,
+    ) -> Iterator[tuple[dict[str, int], frozenset[int]]]:
+        source_value = _try_eval(goal.source, env)
+        if source_value is not None:
+            candidates: list[int] = [source_value] if source_value in available else []
+        elif isinstance(goal.source, Var) and goal.source.name in unknowns:
+            candidates = sorted(available)
+        else:
+            candidates = []
+
+        for addr in candidates:
+            if addr not in available:
+                continue
+            cell = model.heap.get(addr)
+            if cell is None or cell.type_name != goal.type_name:
+                continue
+            if len(cell.values) != len(goal.args):
+                continue
+            env_after = dict(env)
+            if source_value is None:
+                env_after[goal.source.name] = addr  # type: ignore[union-attr]
+            bound = _unify_all(goal.args, cell.values, env_after, unknowns)
+            if bound is None:
+                continue
+            yield from self._solve(
+                rest, bound, unknowns, available - {addr}, model, state, depth
+            )
+
+    # -- inductive predicates ------------------------------------------------------
+
+    def _solve_pred(
+        self,
+        goal: PredApp,
+        rest: list[object],
+        env: dict[str, int],
+        unknowns: set[str],
+        available: frozenset[int],
+        model: StackHeapModel,
+        state: _SearchState,
+        depth: int,
+    ) -> Iterator[tuple[dict[str, int], frozenset[int]]]:
+        try:
+            definition = self.registry.get(goal.name)
+        except UnknownPredicateError:
+            return
+        if len(goal.args) != definition.arity:
+            return
+
+        # Unfolding depth is bounded by ``state.max_depth`` (set from the heap
+        # size): every well-formed recursive case consumes at least one cell
+        # before recursing, so deeper unfoldings cannot succeed and are pruned
+        # in ``_solve``.
+        for case in definition.cases:
+            body = case.instantiate(definition.params, goal.args)
+            case_unknowns = unknowns | set(body.exists)
+            case_goals = (
+                list(body.spatial_atoms())
+                + list(_pure_conjuncts(body.pure))
+                + rest
+            )
+            yield from self._solve(
+                case_goals, dict(env), case_unknowns, available, model, state, depth + 1
+            )
+
+    def _discharge_deferred(
+        self, goals: list[PureFormula], env: dict[str, int], unknowns: set[str]
+    ) -> dict[str, int] | None:
+        """Resolve pure constraints left undecided by the spatial search.
+
+        Each remaining constraint involves at least one unbound existential
+        variable.  We run a small fixpoint: equalities with one known side
+        bind the unknown; inequalities contribute lower/upper bounds for the
+        unknowns, which are checked for feasibility and then used to pick a
+        witness value.  Constraints that still involve two or more unbound
+        variables afterwards are accepted optimistically (they are trivially
+        satisfiable in isolation for the predicate shapes we support).
+        """
+        env = dict(env)
+        pending = list(goals)
+        changed = True
+        while changed:
+            changed = False
+            remaining: list[PureFormula] = []
+            for goal in pending:
+                outcome = self._step_pure(goal, env, unknowns)
+                if outcome is _FAIL:
+                    return None
+                if outcome is _DEFER:
+                    remaining.append(goal)
+                    continue
+                env = outcome
+                changed = True
+            pending = remaining
+            if changed:
+                continue
+            # No equality progress: derive bounds for unknowns from
+            # inequalities whose other side is known.
+            bounds: dict[str, tuple[int | None, int | None]] = {}
+            for goal in pending:
+                constraint = _as_bound(goal, env, unknowns)
+                if constraint is None:
+                    continue
+                name, lower, upper = constraint
+                current_lower, current_upper = bounds.get(name, (None, None))
+                if lower is not None:
+                    current_lower = lower if current_lower is None else max(current_lower, lower)
+                if upper is not None:
+                    current_upper = upper if current_upper is None else min(current_upper, upper)
+                bounds[name] = (current_lower, current_upper)
+            for name, (lower, upper) in bounds.items():
+                if lower is not None and upper is not None and lower > upper:
+                    return None
+                if lower is not None:
+                    env[name] = lower
+                elif upper is not None:
+                    env[name] = upper
+                changed = True
+            if not bounds:
+                break
+        # Whatever is left involves several unbound variables; accept.
+        return env
+
+    # -- pure goals -----------------------------------------------------------------
+
+    def _step_pure(
+        self, goal: PureFormula, env: dict[str, int], unknowns: set[str]
+    ) -> dict[str, int] | object:
+        """Try to discharge a pure goal.
+
+        Returns an (possibly extended) environment on success, ``_FAIL`` when
+        the goal is definitely violated and ``_DEFER`` when it cannot be
+        decided yet because of unbound existential variables.
+        """
+        if isinstance(goal, TrueF):
+            return env
+        if isinstance(goal, FalseF):
+            return _FAIL
+        if isinstance(goal, And):
+            current = env
+            for part in goal.parts:
+                outcome = self._step_pure(part, current, unknowns)
+                if outcome is _FAIL or outcome is _DEFER:
+                    return outcome
+                current = outcome
+            return current
+        if isinstance(goal, Or):
+            deferred = False
+            for part in goal.parts:
+                outcome = self._step_pure(part, dict(env), unknowns)
+                if outcome is _DEFER:
+                    deferred = True
+                elif outcome is not _FAIL:
+                    return outcome
+            return _DEFER if deferred else _FAIL
+        if isinstance(goal, Not):
+            inner = self._step_pure(goal.operand, dict(env), unknowns)
+            if inner is _DEFER:
+                return _DEFER
+            if inner is _FAIL:
+                return env
+            return _FAIL
+        if isinstance(goal, Eq):
+            left = _try_eval(goal.left, env)
+            right = _try_eval(goal.right, env)
+            if left is not None and right is not None:
+                return env if left == right else _FAIL
+            if left is not None and isinstance(goal.right, Var) and goal.right.name in unknowns:
+                extended = dict(env)
+                extended[goal.right.name] = left
+                return extended
+            if right is not None and isinstance(goal.left, Var) and goal.left.name in unknowns:
+                extended = dict(env)
+                extended[goal.left.name] = right
+                return extended
+            return _DEFER
+        # Remaining binary relations (Ne, Lt, Le, Gt, Ge): decidable only when
+        # both sides evaluate.
+        try:
+            return env if goal.eval(env) else _FAIL
+        except EvaluationError:
+            return _DEFER
+
+
+# Sentinels used by ``_step_pure``.
+_FAIL = object()
+_DEFER = object()
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _pure_conjuncts(pure: PureFormula) -> list[PureFormula]:
+    """Flatten a pure formula into a list of conjuncts."""
+    if isinstance(pure, TrueF):
+        return []
+    if isinstance(pure, And):
+        result: list[PureFormula] = []
+        for part in pure.parts:
+            result.extend(_pure_conjuncts(part))
+        return result
+    return [pure]
+
+
+def _try_eval(expr: Expr, env: dict[str, int]) -> int | None:
+    """Evaluate an expression, returning ``None`` when a variable is unbound."""
+    try:
+        return expr.eval(env)
+    except EvaluationError:
+        return None
+
+
+def _as_bound(
+    goal: PureFormula, env: dict[str, int], unknowns: set[str]
+) -> tuple[str, int | None, int | None] | None:
+    """Interpret an inequality as a lower/upper bound on a single unknown.
+
+    Returns ``(name, lower, upper)`` with exactly one bound set, or ``None``
+    when the constraint does not have that shape.
+    """
+    from repro.sl.exprs import Ge, Gt, Le, Lt  # local import to avoid cycle noise
+
+    if not isinstance(goal, (Le, Lt, Ge, Gt)):
+        return None
+    left_value = _try_eval(goal.left, env)
+    right_value = _try_eval(goal.right, env)
+    strict = isinstance(goal, (Lt, Gt))
+    lower_first = isinstance(goal, (Le, Lt))  # left <= right
+    if (
+        isinstance(goal.left, Var)
+        and goal.left.name in unknowns
+        and left_value is None
+        and right_value is not None
+    ):
+        # u <= k  (upper bound)  or  u >= k (lower bound)
+        if lower_first:
+            return goal.left.name, None, right_value - 1 if strict else right_value
+        return goal.left.name, right_value + 1 if strict else right_value, None
+    if (
+        isinstance(goal.right, Var)
+        and goal.right.name in unknowns
+        and right_value is None
+        and left_value is not None
+    ):
+        # k <= u (lower bound)  or  k >= u (upper bound)
+        if lower_first:
+            return goal.right.name, left_value + 1 if strict else left_value, None
+        return goal.right.name, None, left_value - 1 if strict else left_value
+    return None
+
+
+def _unify(expr: Expr, value: int, env: dict[str, int], unknowns: set[str]) -> dict[str, int] | None:
+    """Unify an argument expression against an observed value."""
+    current = _try_eval(expr, env)
+    if current is not None:
+        return env if current == value else None
+    if isinstance(expr, Var) and expr.name in unknowns:
+        extended = dict(env)
+        extended[expr.name] = value
+        return extended
+    return None
+
+
+def _unify_all(
+    exprs: Sequence[Expr],
+    values: Sequence[int],
+    env: dict[str, int],
+    unknowns: set[str],
+) -> dict[str, int] | None:
+    """Unify a sequence of expressions against observed values, left to right."""
+    current: dict[str, int] | None = env
+    for expr, value in zip(exprs, values):
+        if current is None:
+            return None
+        current = _unify(expr, value, current, unknowns)
+    return current

@@ -1,0 +1,25 @@
+"""Errors raised by the separation-logic core."""
+
+
+class SLError(Exception):
+    """Base class for all separation-logic related errors."""
+
+
+class EvaluationError(SLError):
+    """A pure expression could not be evaluated (e.g. unbound variable)."""
+
+
+class ParseError(SLError):
+    """A textual SL formula or predicate definition could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class UnknownPredicateError(SLError):
+    """A formula refers to a predicate that is not in the registry."""
+
+
+class HeapError(SLError):
+    """Invalid heap operation (overlapping union, missing address, ...)."""

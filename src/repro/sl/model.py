@@ -1,0 +1,258 @@
+"""Stack-heap models (concrete traces) and their operators.
+
+A stack-heap model ``(s, h)`` pairs a *stack* ``s : Var -> Val`` with a
+*heap* ``h : Loc -> (Type, Val*)`` (Section 3 of the paper).  Values are
+Python integers, ``nil`` is ``0`` and allocated addresses are positive
+integers.
+
+The module also provides the sequence operators ``(+)`` (disjoint union) and
+``(\\)`` (difference) lifted over sequences of models, which Algorithm 1 uses
+to thread residual heaps through the iterative inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.sl.errors import HeapError
+from repro.sl.exprs import NIL_VALUE
+
+
+@dataclass(frozen=True)
+class HeapCell:
+    """A single allocated cell: its structure type and field values."""
+
+    type_name: str
+    fields: tuple[tuple[str, int], ...]
+
+    def __init__(self, type_name: str, fields: Mapping[str, int] | Iterable[tuple[str, int]]):
+        object.__setattr__(self, "type_name", type_name)
+        if isinstance(fields, Mapping):
+            items = tuple(fields.items())
+        else:
+            items = tuple(fields)
+        object.__setattr__(self, "fields", items)
+
+    @property
+    def field_dict(self) -> dict[str, int]:
+        """Field values as a dictionary (field name -> value)."""
+        return dict(self.fields)
+
+    @property
+    def values(self) -> tuple[int, ...]:
+        """Field values in declaration order."""
+        return tuple(value for _, value in self.fields)
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Field names in declaration order."""
+        return tuple(name for name, _ in self.fields)
+
+    def get(self, field_name: str) -> int:
+        """Return the value of ``field_name``."""
+        for name, value in self.fields:
+            if name == field_name:
+                return value
+        raise HeapError(f"cell of type {self.type_name!r} has no field {field_name!r}")
+
+
+class Heap:
+    """An immutable finite partial map from addresses to :class:`HeapCell`."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Mapping[int, HeapCell] | None = None):
+        self._cells: dict[int, HeapCell] = dict(cells) if cells else {}
+
+    # -- mapping interface ----------------------------------------------------
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._cells
+
+    def __getitem__(self, addr: int) -> HeapCell:
+        try:
+            return self._cells[addr]
+        except KeyError:
+            raise HeapError(f"address {addr:#x} is not allocated") from None
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Heap):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._cells.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Heap({self._cells!r})"
+
+    # -- queries --------------------------------------------------------------
+
+    def domain(self) -> frozenset[int]:
+        """The set of allocated addresses ``dom(h)``."""
+        return frozenset(self._cells)
+
+    def items(self) -> Iterable[tuple[int, HeapCell]]:
+        """Iterate over ``(address, cell)`` pairs."""
+        return self._cells.items()
+
+    def get(self, addr: int) -> HeapCell | None:
+        """Return the cell at ``addr`` or ``None`` if unallocated."""
+        return self._cells.get(addr)
+
+    def is_empty(self) -> bool:
+        """True if the heap has no cells."""
+        return not self._cells
+
+    def disjoint_from(self, other: "Heap") -> bool:
+        """``h1 # h2``: the two heaps have disjoint domains."""
+        if len(self._cells) > len(other._cells):
+            return other.disjoint_from(self)
+        return all(addr not in other._cells for addr in self._cells)
+
+    # -- constructions ---------------------------------------------------------
+
+    def restrict(self, addrs: Iterable[int]) -> "Heap":
+        """The sub-heap containing only the given addresses (that are present)."""
+        wanted = set(addrs)
+        return Heap({addr: cell for addr, cell in self._cells.items() if addr in wanted})
+
+    def remove(self, addrs: Iterable[int]) -> "Heap":
+        """The heap without the given addresses."""
+        unwanted = set(addrs)
+        return Heap({addr: cell for addr, cell in self._cells.items() if addr not in unwanted})
+
+    def union(self, other: "Heap") -> "Heap":
+        """Disjoint union ``h1 o h2``; raises :class:`HeapError` on overlap."""
+        if not self.disjoint_from(other):
+            overlap = self.domain() & other.domain()
+            raise HeapError(f"heap union of overlapping heaps (shared addresses {sorted(overlap)})")
+        merged = dict(self._cells)
+        merged.update(other._cells)
+        return Heap(merged)
+
+    def difference(self, other: "Heap") -> "Heap":
+        """Heap difference ``h1 \\ h2`` (removes addresses present in ``other``)."""
+        return self.remove(other.domain())
+
+    def reachable_from(self, roots: Iterable[int]) -> frozenset[int]:
+        """Addresses of cells reachable from ``roots`` by following field values."""
+        seen: set[int] = set()
+        stack = [addr for addr in roots if addr in self._cells]
+        while stack:
+            addr = stack.pop()
+            if addr in seen:
+                continue
+            seen.add(addr)
+            for value in self._cells[addr].values:
+                if value != NIL_VALUE and value in self._cells and value not in seen:
+                    stack.append(value)
+        return frozenset(seen)
+
+
+@dataclass(frozen=True)
+class StackHeapModel:
+    """A concrete trace: stack, heap and (optional) variable typing.
+
+    ``var_types`` maps stack variable names to heaplang type names (e.g.
+    ``"Node*"`` or ``"int"``); it is used by the inference to restrict
+    predicate-argument candidates to type-consistent variables.
+
+    ``freed_addresses`` records addresses that were reachable at snapshot
+    time but had already been passed to ``free``; the paper observes that
+    LLDB still reports the (now invalid) contents of such cells, which makes
+    the resulting invariants spurious.  We keep the information so the
+    evaluation can report spurious counts exactly like Table 1.
+    """
+
+    stack: tuple[tuple[str, int], ...]
+    heap: Heap
+    var_types: tuple[tuple[str, str], ...] = ()
+    freed_addresses: frozenset[int] = frozenset()
+
+    def __init__(
+        self,
+        stack: Mapping[str, int] | Iterable[tuple[str, int]],
+        heap: Heap | Mapping[int, HeapCell],
+        var_types: Mapping[str, str] | Iterable[tuple[str, str]] = (),
+        freed_addresses: Iterable[int] = (),
+    ):
+        stack_items = tuple(stack.items()) if isinstance(stack, Mapping) else tuple(stack)
+        object.__setattr__(self, "stack", stack_items)
+        object.__setattr__(self, "heap", heap if isinstance(heap, Heap) else Heap(heap))
+        type_items = (
+            tuple(var_types.items()) if isinstance(var_types, Mapping) else tuple(var_types)
+        )
+        object.__setattr__(self, "var_types", type_items)
+        object.__setattr__(self, "freed_addresses", frozenset(freed_addresses))
+
+    # -- stack access -----------------------------------------------------------
+
+    @property
+    def stack_dict(self) -> dict[str, int]:
+        """The stack as a dictionary (variable -> value)."""
+        return dict(self.stack)
+
+    @property
+    def type_dict(self) -> dict[str, str]:
+        """Variable typing as a dictionary (variable -> type name)."""
+        return dict(self.var_types)
+
+    def value_of(self, var: str) -> int:
+        """Value of a stack variable."""
+        for name, value in self.stack:
+            if name == var:
+                return value
+        raise KeyError(var)
+
+    def has_var(self, var: str) -> bool:
+        """True when the stack binds ``var``."""
+        return any(name == var for name, _ in self.stack)
+
+    def pointer_vars(self) -> list[str]:
+        """Stack variables with a pointer type (or untyped variables that hold addresses)."""
+        types = self.type_dict
+        result = []
+        for name, value in self.stack:
+            var_type = types.get(name)
+            if var_type is not None:
+                if var_type.endswith("*"):
+                    result.append(name)
+            elif value == NIL_VALUE or value in self.heap:
+                result.append(name)
+        return result
+
+    def has_freed_cells(self) -> bool:
+        """True when the snapshot observed cells that had already been freed."""
+        return bool(self.freed_addresses)
+
+    # -- heap constructions -------------------------------------------------------
+
+    def with_heap(self, heap: Heap) -> "StackHeapModel":
+        """Return a copy of the model with a different heap."""
+        return StackHeapModel(self.stack, heap, self.var_types, self.freed_addresses)
+
+
+def models_union(
+    models: Sequence[StackHeapModel], others: Sequence[StackHeapModel]
+) -> list[StackHeapModel]:
+    """Pointwise disjoint heap union of two equal-length model sequences."""
+    if len(models) != len(others):
+        raise HeapError("model sequences of different lengths cannot be combined")
+    return [m.with_heap(m.heap.union(o.heap)) for m, o in zip(models, others)]
+
+
+def models_difference(
+    models: Sequence[StackHeapModel], others: Sequence[StackHeapModel]
+) -> list[StackHeapModel]:
+    """Pointwise heap difference of two equal-length model sequences."""
+    if len(models) != len(others):
+        raise HeapError("model sequences of different lengths cannot be combined")
+    return [m.with_heap(m.heap.difference(o.heap)) for m, o in zip(models, others)]

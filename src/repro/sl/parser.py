@@ -1,0 +1,366 @@
+"""A small recursive-descent parser for SL formulae and predicate definitions.
+
+Grammar (informal)::
+
+    predicates  := preddef*
+    preddef     := 'pred' NAME '(' params ')' [':' types] ':=' case ('|' case)* ';'
+    case        := formula | '(' formula ')'
+    formula     := ['exists' NAME (',' NAME)* '.'] clause
+    clause      := term ('&' term)*            -- mixes spatial and pure conjuncts
+    term        := spatial_atom | pure_atom
+    spatial_atom:= 'emp'
+                 | expr '->' NAME '{' NAME ':' expr (',' NAME ':' expr)* '}'
+                 | expr '->' NAME '(' expr (',' expr)* ')'
+                 | NAME '(' expr (',' expr)* ')'
+    pure_atom   := expr OP expr | 'true' | 'false'
+    expr        := NAME | INT | 'nil' | '-' expr | expr ('+'|'-') expr | 'max' '(' expr ',' expr ')'
+
+Spatial conjuncts inside a clause may be combined with either ``*`` or
+``&``; the parser sorts conjuncts into the spatial and pure parts of the
+resulting :class:`~repro.sl.spatial.SymHeap`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sl.errors import ParseError
+from repro.sl.exprs import (
+    Add,
+    Eq,
+    Expr,
+    FalseF,
+    Ge,
+    Gt,
+    IntConst,
+    Le,
+    Lt,
+    Max,
+    Ne,
+    Neg,
+    Nil,
+    PureFormula,
+    Sub,
+    TrueF,
+    Var,
+)
+from repro.sl.predicates import InductivePredicate, PredCase, PredicateRegistry
+from repro.sl.spatial import PointsTo, PredApp, Spatial, SymHeap, star
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<define>:=)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(){},.;*&|:+-])
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"pred", "exists", "emp", "nil", "true", "false", "max"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.text != text:
+            raise ParseError(f"expected {text!r} but found {token.text!r}", token.position)
+        return self.advance()
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text:
+            self.advance()
+            return True
+        return False
+
+    def at_name(self) -> bool:
+        token = self.peek()
+        return token.kind == "name" and token.text not in _KEYWORDS
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_unary()
+        while self.peek().text in ("+", "-"):
+            operator = self.advance().text
+            right = self._parse_unary()
+            left = Add(left, right) if operator == "+" else Sub(left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.text == "-":
+            self.advance()
+            return Neg(self._parse_unary())
+        if token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token.kind == "int":
+            self.advance()
+            return IntConst(int(token.text))
+        if token.text == "nil":
+            self.advance()
+            return Nil()
+        if token.text == "max":
+            self.advance()
+            self.expect("(")
+            left = self.parse_expr()
+            self.expect(",")
+            right = self.parse_expr()
+            self.expect(")")
+            return Max(left, right)
+        if token.kind == "name":
+            self.advance()
+            return Var(token.text)
+        raise ParseError(f"expected an expression but found {token.text!r}", token.position)
+
+    # -- formulae -----------------------------------------------------------------
+
+    def parse_formula(self) -> SymHeap:
+        exists: list[str] = []
+        if self.peek().text == "exists":
+            self.advance()
+            exists.append(self._parse_name())
+            while self.accept(","):
+                exists.append(self._parse_name())
+            self.expect(".")
+        spatial_atoms, pure_parts = self._parse_clause()
+        return SymHeap(exists=exists, spatial=star(*spatial_atoms), pure=pure_parts)
+
+    def _parse_name(self) -> str:
+        token = self.peek()
+        if token.kind != "name" or token.text in _KEYWORDS:
+            raise ParseError(f"expected a name but found {token.text!r}", token.position)
+        return self.advance().text
+
+    def _parse_clause(self) -> tuple[list[Spatial], list[PureFormula]]:
+        spatial_atoms: list[Spatial] = []
+        pure_parts: list[PureFormula] = []
+        self._parse_term(spatial_atoms, pure_parts)
+        while self.peek().text in ("&", "*"):
+            self.advance()
+            self._parse_term(spatial_atoms, pure_parts)
+        return spatial_atoms, pure_parts
+
+    def _parse_term(
+        self, spatial_atoms: list[Spatial], pure_parts: list[PureFormula]
+    ) -> None:
+        token = self.peek()
+        if token.text == "emp":
+            self.advance()
+            return
+        if token.text == "true":
+            self.advance()
+            pure_parts.append(TrueF())
+            return
+        if token.text == "false":
+            self.advance()
+            pure_parts.append(FalseF())
+            return
+        if token.text == "(":
+            # A parenthesised sub-clause: parse it and merge its conjuncts.
+            self.advance()
+            inner_spatial, inner_pure = self._parse_clause()
+            self.expect(")")
+            spatial_atoms.extend(inner_spatial)
+            pure_parts.extend(inner_pure)
+            return
+        # Either a predicate application, a points-to or a pure relation.
+        if self.at_name() and self.tokens[self.index + 1].text == "(":
+            name = self.advance().text
+            self.expect("(")
+            args = [self.parse_expr()]
+            while self.accept(","):
+                args.append(self.parse_expr())
+            self.expect(")")
+            spatial_atoms.append(PredApp(name, args))
+            return
+        expr = self.parse_expr()
+        token = self.peek()
+        if token.text == "->":
+            self.advance()
+            spatial_atoms.append(self._parse_points_to_tail(expr))
+            return
+        if token.kind == "op":
+            operator = self.advance().text
+            right = self.parse_expr()
+            pure_parts.append(_RELATIONS[operator](expr, right))
+            return
+        raise ParseError(
+            f"expected '->' or a comparison after expression, found {token.text!r}",
+            token.position,
+        )
+
+    def _parse_points_to_tail(self, source: Expr) -> PointsTo:
+        type_name = self._parse_name()
+        if self.accept("{"):
+            field_names: list[str] = []
+            args: list[Expr] = []
+            field_names.append(self._parse_name())
+            self.expect(":")
+            args.append(self.parse_expr())
+            while self.accept(","):
+                field_names.append(self._parse_name())
+                self.expect(":")
+                args.append(self.parse_expr())
+            self.expect("}")
+            return PointsTo(source, type_name, args)
+        self.expect("(")
+        args = [self.parse_expr()]
+        while self.accept(","):
+            args.append(self.parse_expr())
+        self.expect(")")
+        return PointsTo(source, type_name, args)
+
+    # -- predicate definitions -------------------------------------------------------
+
+    def parse_predicates(self) -> list[InductivePredicate]:
+        predicates: list[InductivePredicate] = []
+        while self.peek().text == "pred":
+            predicates.append(self._parse_preddef())
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+        return predicates
+
+    def _parse_preddef(self) -> InductivePredicate:
+        self.expect("pred")
+        name = self._parse_name()
+        self.expect("(")
+        params = [self._parse_name()]
+        param_types: list[str | None] = [None]
+        if self.accept(":"):
+            param_types[-1] = self._parse_type()
+        while self.accept(","):
+            params.append(self._parse_name())
+            param_types.append(None)
+            if self.accept(":"):
+                param_types[-1] = self._parse_type()
+        self.expect(")")
+        self.expect(":=")
+        cases = [PredCase(self._parse_case())]
+        while self.accept("|"):
+            cases.append(PredCase(self._parse_case()))
+        self.expect(";")
+        return InductivePredicate(name, params, cases, param_types)
+
+    def _parse_type(self) -> str:
+        name = self._parse_name()
+        if self.accept("*"):
+            return f"{name}*"
+        return name
+
+    def _parse_case(self) -> SymHeap:
+        if self.peek().text == "(":
+            # Peek inside to decide whether the parenthesis wraps a whole case
+            # (e.g. ``(emp & x = nil)``) or starts an expression.  A whole
+            # case always begins with emp/exists/a spatial atom/pure relation,
+            # so simply parse a formula inside the parentheses.
+            self.advance()
+            formula = self.parse_formula()
+            self.expect(")")
+            return formula
+        return self.parse_formula()
+
+
+_RELATIONS = {
+    "=": Eq,
+    "!=": Ne,
+    "<": Lt,
+    "<=": Le,
+    ">": Gt,
+    ">=": Ge,
+}
+
+
+def parse_formula(text: str) -> SymHeap:
+    """Parse a single symbolic-heap formula."""
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+    return formula
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a single pure expression."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+    return expr
+
+
+def parse_predicates(
+    text: str, registry: PredicateRegistry | None = None
+) -> PredicateRegistry:
+    """Parse predicate definitions, returning (or extending) a registry."""
+    parser = _Parser(text)
+    predicates = parser.parse_predicates()
+    result = registry if registry is not None else PredicateRegistry()
+    for predicate in predicates:
+        result.add(predicate)
+    return result
+
+
+def parse_predicate(text: str) -> InductivePredicate:
+    """Parse a single predicate definition."""
+    parser = _Parser(text)
+    predicates = parser.parse_predicates()
+    if len(predicates) != 1:
+        raise ParseError(f"expected exactly one predicate definition, got {len(predicates)}")
+    return predicates[0]
+
+
+def field_name_table(text_or_mapping: Mapping[str, tuple[str, ...]]) -> dict[str, tuple[str, ...]]:
+    """Normalise a struct field-name table used by the pretty printer."""
+    return {name: tuple(fields) for name, fields in text_or_mapping.items()}

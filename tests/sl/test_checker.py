@@ -1,0 +1,171 @@
+"""Unit tests for the symbolic-heap model checker (Definition 2)."""
+
+import pytest
+
+from repro.sl.checker import ModelChecker
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.parser import parse_formula
+from repro.sl.predicates import PredicateRegistry
+
+from tests.conftest import dll_model, sll_model
+
+
+class TestBasicSatisfaction:
+    def test_emp_on_empty_heap(self, checker):
+        model = StackHeapModel({"x": 0}, Heap())
+        result = checker.check(model, parse_formula("emp & x = nil"))
+        assert result is not None and result.covers_everything()
+
+    def test_emp_on_nonempty_heap_leaves_residual(self, checker):
+        model = sll_model(2)
+        result = checker.check(model, parse_formula("emp"))
+        assert result is not None
+        assert result.residual.domain() == {1, 2}
+
+    def test_points_to(self, checker):
+        model = sll_model(1)
+        result = checker.check(model, parse_formula("x -> SllNode{next: nil}"))
+        assert result is not None and result.covers_everything()
+
+    def test_points_to_wrong_value_fails(self, checker):
+        model = sll_model(2)
+        assert checker.check(model, parse_formula("x -> SllNode{next: nil}")) is None
+
+    def test_points_to_existential_field(self, checker):
+        model = sll_model(2)
+        result = checker.check(model, parse_formula("exists n. x -> SllNode{next: n}"))
+        assert result is not None
+        assert result.instantiation == {"n": 2}
+        assert result.residual.domain() == {2}
+
+    def test_unknown_free_variable_rejected(self, checker):
+        model = sll_model(1)
+        assert checker.check(model, parse_formula("sll(zzz)")) is None
+
+    def test_unknown_predicate_rejected(self):
+        checker = ModelChecker(PredicateRegistry())
+        assert checker.check(sll_model(1), parse_formula("nosuch(x)")) is None
+
+
+class TestInductivePredicates:
+    @pytest.mark.parametrize("size", [0, 1, 2, 5, 10])
+    def test_sll_of_any_size(self, checker, size):
+        result = checker.check(sll_model(size), parse_formula("sll(x)"))
+        assert result is not None and result.covers_everything()
+
+    def test_sll_rejects_wrong_node_type(self, checker):
+        assert checker.check(dll_model(3), parse_formula("sll(x)")) is None
+
+    def test_dll_full_list(self, checker):
+        result = checker.check(dll_model(3), parse_formula("exists p, t. dll(x, p, t, nil)"))
+        assert result is not None and result.covers_everything()
+        assert result.instantiation["t"] == 3
+
+    def test_dll_segment_to_middle(self, checker):
+        model = dll_model(3, extra_stack={"tmp": 2})
+        result = checker.check(model, parse_formula("exists p, t. dll(x, p, t, tmp)"))
+        assert result is not None
+        assert result.consumed == {1}
+
+    def test_dll_broken_prev_rejected(self, checker):
+        cells = {
+            1: HeapCell("DllNode", {"next": 2, "prev": 0}),
+            2: HeapCell("DllNode", {"next": 0, "prev": 9}),  # wrong back-pointer
+        }
+        model = StackHeapModel({"x": 1}, Heap(cells), {"x": "DllNode*"})
+        assert checker.check(model, parse_formula("exists p, t. dll(x, p, t, nil)")) is None
+
+    def test_lseg_picks_maximal_coverage(self, checker):
+        result = checker.check(sll_model(4), parse_formula("exists y. lseg(x, y)"))
+        assert result is not None
+        assert result.covers_everything()
+
+    def test_sorted_list_accepts_sorted(self, checker):
+        cells = {
+            1: HeapCell("SNode", {"next": 2, "data": 1}),
+            2: HeapCell("SNode", {"next": 3, "data": 4}),
+            3: HeapCell("SNode", {"next": 0, "data": 9}),
+        }
+        model = StackHeapModel({"x": 1}, Heap(cells), {"x": "SNode*"})
+        result = checker.check(model, parse_formula("exists m. sls(x, m)"))
+        assert result is not None and result.covers_everything()
+
+    def test_sorted_list_rejects_unsorted(self, checker):
+        cells = {
+            1: HeapCell("SNode", {"next": 2, "data": 9}),
+            2: HeapCell("SNode", {"next": 0, "data": 4}),
+        }
+        model = StackHeapModel({"x": 1}, Heap(cells), {"x": "SNode*"})
+        assert checker.check(model, parse_formula("exists m. sls(x, m)")) is None
+
+    def test_tree(self, checker):
+        cells = {
+            1: HeapCell("TNode", {"left": 2, "right": 3}),
+            2: HeapCell("TNode", {"left": 0, "right": 0}),
+            3: HeapCell("TNode", {"left": 0, "right": 0}),
+        }
+        model = StackHeapModel({"t": 1}, Heap(cells), {"t": "TNode*"})
+        result = checker.check(model, parse_formula("tree(t)"))
+        assert result is not None and result.covers_everything()
+
+    def test_bst_rejects_order_violation(self, checker):
+        cells = {
+            1: HeapCell("BstNode", {"left": 2, "right": 0, "data": 5}),
+            2: HeapCell("BstNode", {"left": 0, "right": 0, "data": 9}),
+        }
+        model = StackHeapModel({"t": 1}, Heap(cells), {"t": "BstNode*"})
+        assert checker.check(model, parse_formula("exists lo, hi. bst(t, lo, hi)")) is None
+
+    def test_avl_rejects_unbalanced(self, checker):
+        cells = {
+            1: HeapCell("AvlNode", {"left": 2, "right": 0, "data": 5, "height": 3}),
+            2: HeapCell("AvlNode", {"left": 3, "right": 0, "data": 3, "height": 2}),
+            3: HeapCell("AvlNode", {"left": 0, "right": 0, "data": 1, "height": 1}),
+        }
+        model = StackHeapModel({"t": 1}, Heap(cells), {"t": "AvlNode*"})
+        assert checker.check(model, parse_formula("exists h. avl(t, h)")) is None
+
+    def test_circular_list(self, checker):
+        cells = {
+            1: HeapCell("CNode", {"next": 2, "data": 0}),
+            2: HeapCell("CNode", {"next": 1, "data": 0}),
+        }
+        model = StackHeapModel({"c": 1}, Heap(cells), {"c": "CNode*"})
+        result = checker.check(model, parse_formula("cll(c)"))
+        assert result is not None and result.covers_everything()
+
+
+class TestSeparation:
+    def test_star_requires_disjoint_regions(self, checker):
+        model = dll_model(2, extra_stack={"y": 1})
+        # x and y alias, so requiring two disjoint non-empty dlls must fail to
+        # cover the heap twice; the only reductions make one side empty.
+        formula = parse_formula(
+            "exists p1, t1, p2, t2. dll(x, p1, t1, nil) * dll(y, p2, t2, nil)"
+        )
+        result = checker.check(model, formula)
+        assert result is None or not (
+            result.covers_everything() and len(result.consumed) == 4
+        )
+
+    def test_two_disjoint_lists(self, checker):
+        cells = {
+            1: HeapCell("SllNode", {"next": 0}),
+            5: HeapCell("SllNode", {"next": 0}),
+        }
+        model = StackHeapModel({"x": 1, "y": 5}, Heap(cells), {"x": "SllNode*", "y": "SllNode*"})
+        result = checker.check(model, parse_formula("sll(x) * sll(y)"))
+        assert result is not None and result.covers_everything()
+
+
+class TestCheckAll:
+    def test_check_all_requires_every_model(self, checker):
+        good = sll_model(2)
+        bad = dll_model(2)
+        assert checker.check_all([good], parse_formula("sll(x)")) is not None
+        assert checker.check_all([good, bad], parse_formula("sll(x)")) is None
+
+    def test_satisfies_requires_full_coverage(self, checker):
+        model = sll_model(3)
+        assert checker.satisfies(model, parse_formula("sll(x)"))
+        assert not checker.satisfies(model, parse_formula("emp"))

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the model checker and heap operations.
+
+The key soundness invariants exercised here:
+
+* generated well-formed structures always satisfy their defining predicate
+  with an empty residual (completeness on the fragment),
+* corrupting a structure's links makes the predicate unsatisfiable or leaves
+  a residual (no over-acceptance of full coverage),
+* the residual returned by any reduction is always a subset of the input
+  heap and is disjoint from the consumed part.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sl.checker import ModelChecker
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.parser import parse_formula
+from repro.sl.stdpreds import standard_predicates
+
+_PREDICATES = standard_predicates()
+_CHECKER = ModelChecker(_PREDICATES)
+
+
+def _sll_cells(size: int, base: int = 1) -> dict[int, HeapCell]:
+    return {
+        base + index: HeapCell(
+            "SllNode", {"next": base + index + 1 if index + 1 < size else 0}
+        )
+        for index in range(size)
+    }
+
+
+def _dll_cells(size: int) -> dict[int, HeapCell]:
+    cells = {}
+    for index in range(1, size + 1):
+        cells[index] = HeapCell(
+            "DllNode", {"next": index + 1 if index < size else 0, "prev": index - 1}
+        )
+    return cells
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(min_value=0, max_value=12))
+def test_generated_sll_satisfies_sll(size):
+    model = StackHeapModel({"x": 1 if size else 0}, Heap(_sll_cells(size)), {"x": "SllNode*"})
+    result = _CHECKER.check(model, parse_formula("sll(x)"))
+    assert result is not None
+    assert result.covers_everything()
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(min_value=0, max_value=10))
+def test_generated_dll_satisfies_dll(size):
+    model = StackHeapModel({"x": 1 if size else 0}, Heap(_dll_cells(size)), {"x": "DllNode*"})
+    result = _CHECKER.check(model, parse_formula("exists p, t. dll(x, p, t, nil)"))
+    assert result is not None
+    assert result.covers_everything()
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(min_value=2, max_value=8), corrupt=st.integers(min_value=0, max_value=7))
+def test_corrupted_dll_prev_is_not_a_full_dll(size, corrupt):
+    cells = _dll_cells(size)
+    # Corrupt an interior back-pointer (the head's prev is existentially
+    # quantified in the candidate formula, so corrupting it would not break
+    # satisfaction).
+    victim = (corrupt % (size - 1)) + 2
+    fields = dict(cells[victim].fields)
+    fields["prev"] = victim  # self-loop back-pointer: never valid in a dll
+    cells[victim] = HeapCell("DllNode", fields)
+    model = StackHeapModel({"x": 1}, Heap(cells), {"x": "DllNode*"})
+    result = _CHECKER.check(model, parse_formula("exists p, t. dll(x, p, t, nil)"))
+    assert result is None or not result.covers_everything()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=0, max_value=8),
+    extra=st.integers(min_value=0, max_value=4),
+)
+def test_residual_is_subset_and_disjoint_from_consumed(size, extra):
+    cells = _sll_cells(size)
+    cells.update(_sll_cells(extra, base=100))  # unrelated garbage region
+    stack = {"x": 1 if size else 0}
+    model = StackHeapModel(stack, Heap(cells), {"x": "SllNode*"})
+    result = _CHECKER.check(model, parse_formula("sll(x)"))
+    assert result is not None
+    assert result.residual.domain() <= model.heap.domain()
+    assert result.residual.domain().isdisjoint(result.consumed)
+    assert result.residual.domain() | result.consumed == model.heap.domain()
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=100), min_size=0, max_size=8))
+def test_sorted_predicate_agrees_with_sortedness(values):
+    # Build the list in the given order.
+    cells = {}
+    next_addr = 0
+    for index in range(len(values) - 1, -1, -1):
+        addr = index + 1
+        cells[addr] = HeapCell("SNode", {"next": next_addr, "data": values[index]})
+        next_addr = addr
+    model = StackHeapModel(
+        {"x": 1 if values else 0}, Heap(cells), {"x": "SNode*"}
+    )
+    result = _CHECKER.check(model, parse_formula("exists m. sls(x, m)"))
+    is_sorted = all(a <= b for a, b in zip(values, values[1:]))
+    if is_sorted:
+        assert result is not None and result.covers_everything()
+    else:
+        assert result is None or not result.covers_everything()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    left=st.integers(min_value=0, max_value=5),
+    right=st.integers(min_value=0, max_value=5),
+)
+def test_two_disjoint_lists_star(left, right):
+    cells = _sll_cells(left)
+    cells.update(_sll_cells(right, base=50))
+    stack = {"x": 1 if left else 0, "y": 50 if right else 0}
+    model = StackHeapModel(stack, Heap(cells), {"x": "SllNode*", "y": "SllNode*"})
+    result = _CHECKER.check(model, parse_formula("sll(x) * sll(y)"))
+    assert result is not None
+    assert result.covers_everything()
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=1, max_value=8), cut=st.integers(min_value=0, max_value=8))
+def test_lseg_decomposition(size, cut):
+    """lseg(x, m) * sll(m) covers a list split at any interior node ``m``."""
+    cut = min(cut, size)
+    cells = _sll_cells(size)
+    middle = cut + 1 if cut < size else 0
+    stack = {"x": 1, "m": middle}
+    model = StackHeapModel(stack, Heap(cells), {"x": "SllNode*", "m": "SllNode*"})
+    result = _CHECKER.check(model, parse_formula("lseg(x, m) * sll(m)"))
+    assert result is not None
+    assert result.covers_everything()

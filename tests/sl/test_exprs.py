@@ -1,0 +1,102 @@
+"""Unit tests for pure expressions and formulae."""
+
+import pytest
+
+from repro.sl.errors import EvaluationError
+from repro.sl.exprs import (
+    Add,
+    And,
+    Eq,
+    FalseF,
+    Ge,
+    Gt,
+    IntConst,
+    Le,
+    Lt,
+    Max,
+    Mul,
+    Ne,
+    Neg,
+    Nil,
+    Not,
+    Or,
+    Sub,
+    TrueF,
+    Var,
+    conjoin,
+)
+
+
+class TestExpressions:
+    def test_var_eval(self):
+        assert Var("x").eval({"x": 7}) == 7
+
+    def test_var_unbound_raises(self):
+        with pytest.raises(EvaluationError):
+            Var("x").eval({})
+
+    def test_int_const(self):
+        assert IntConst(42).eval({}) == 42
+
+    def test_nil_is_zero(self):
+        assert Nil().eval({}) == 0
+
+    def test_arithmetic(self):
+        env = {"a": 10, "b": 3}
+        assert Add(Var("a"), Var("b")).eval(env) == 13
+        assert Sub(Var("a"), Var("b")).eval(env) == 7
+        assert Neg(Var("b")).eval(env) == -3
+        assert Mul(4, Var("b")).eval(env) == 12
+        assert Max(Var("a"), Var("b")).eval(env) == 10
+
+    def test_free_vars(self):
+        expr = Add(Var("a"), Max(Var("b"), IntConst(1)))
+        assert expr.free_vars() == {"a", "b"}
+        assert Nil().free_vars() == frozenset()
+
+    def test_substitute(self):
+        expr = Add(Var("a"), Var("b"))
+        replaced = expr.substitute({"a": IntConst(5)})
+        assert replaced.eval({"b": 1}) == 6
+
+    def test_substitute_leaves_constants(self):
+        assert IntConst(3).substitute({"x": Var("y")}) == IntConst(3)
+        assert Nil().substitute({"x": Var("y")}) == Nil()
+
+
+class TestPureFormulae:
+    def test_relations(self):
+        env = {"a": 2, "b": 5}
+        assert Eq(Var("a"), IntConst(2)).eval(env)
+        assert Ne(Var("a"), Var("b")).eval(env)
+        assert Lt(Var("a"), Var("b")).eval(env)
+        assert Le(Var("a"), IntConst(2)).eval(env)
+        assert Gt(Var("b"), Var("a")).eval(env)
+        assert Ge(Var("b"), IntConst(5)).eval(env)
+
+    def test_boolean_connectives(self):
+        env = {"a": 1}
+        assert Not(Eq(Var("a"), IntConst(2))).eval(env)
+        assert And([TrueF(), Eq(Var("a"), IntConst(1))]).eval(env)
+        assert not And([TrueF(), FalseF()]).eval(env)
+        assert Or([FalseF(), Eq(Var("a"), IntConst(1))]).eval(env)
+        assert not Or([FalseF(), FalseF()]).eval(env)
+
+    def test_formula_free_vars_and_substitution(self):
+        formula = And([Eq(Var("x"), Var("y")), Lt(Var("y"), IntConst(3))])
+        assert formula.free_vars() == {"x", "y"}
+        substituted = formula.substitute({"x": IntConst(2), "y": IntConst(2)})
+        assert substituted.eval({})
+
+    def test_conjoin_flattens_and_drops_true(self):
+        parts = [TrueF(), And([Eq(Var("x"), Nil())]), Lt(Var("x"), IntConst(9))]
+        combined = conjoin(parts)
+        assert isinstance(combined, And)
+        assert len(combined.parts) == 2
+
+    def test_conjoin_empty_is_true(self):
+        assert isinstance(conjoin([]), TrueF)
+
+    def test_conjoin_single(self):
+        single = Eq(Var("x"), Nil())
+        assert conjoin([single]) == single

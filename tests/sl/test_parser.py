@@ -1,0 +1,140 @@
+"""Unit tests for the SL formula / predicate parser and the pretty printer."""
+
+import pytest
+
+from repro.sl.errors import ParseError
+from repro.sl.exprs import Eq, Lt, Nil, Var
+from repro.sl.parser import parse_expr, parse_formula, parse_predicate, parse_predicates
+from repro.sl.pretty import pretty, pretty_model, pretty_predicate
+from repro.sl.spatial import PointsTo, PredApp
+from repro.sl.stdpreds import STRUCT_FIELDS, standard_predicates
+
+
+class TestExpressionParsing:
+    def test_atoms(self):
+        assert parse_expr("x") == Var("x")
+        assert parse_expr("nil") == Nil()
+        assert parse_expr("42").eval({}) == 42
+
+    def test_arithmetic(self):
+        assert parse_expr("1 + 2 - 3").eval({}) == 0
+        assert parse_expr("max(2, 5) + 1").eval({}) == 6
+        assert parse_expr("-x").eval({"x": 4}) == -4
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("x y")
+
+
+class TestFormulaParsing:
+    def test_points_to_named_fields(self):
+        formula = parse_formula("x -> DllNode{next: n, prev: nil}")
+        atom = formula.spatial_atoms()[0]
+        assert isinstance(atom, PointsTo)
+        assert atom.type_name == "DllNode"
+        assert atom.args == (Var("n"), Nil())
+
+    def test_points_to_positional(self):
+        formula = parse_formula("x -> SllNode(n)")
+        atom = formula.spatial_atoms()[0]
+        assert isinstance(atom, PointsTo)
+        assert atom.args == (Var("n"),)
+
+    def test_predicate_application_and_pure(self):
+        formula = parse_formula("exists u1, u2. dll(x, u1, u2, nil) & x != nil & u1 < 5")
+        assert formula.exists == ("u1", "u2")
+        assert isinstance(formula.spatial_atoms()[0], PredApp)
+        assert len(formula.pure.parts) == 2
+
+    def test_star_and_ampersand_are_both_conjuncts(self):
+        formula = parse_formula("sll(x) * sll(y) & x != y")
+        assert len(formula.spatial_atoms()) == 2
+
+    def test_emp_only(self):
+        formula = parse_formula("emp & x = nil")
+        assert formula.is_emp()
+        assert isinstance(formula.pure, Eq)
+
+    def test_pure_relations(self):
+        formula = parse_formula("x < y & y <= z")
+        assert isinstance(formula.pure.parts[0], Lt)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_formula("dll(x,")
+        with pytest.raises(ParseError):
+            parse_formula("x ->")
+        with pytest.raises(ParseError):
+            parse_formula("exists . sll(x)")
+
+
+class TestPredicateParsing:
+    def test_single_definition(self):
+        predicate = parse_predicate(
+            "pred sll(x: SllNode*) := (emp & x = nil) | (exists n. x -> SllNode{next: n} * sll(n));"
+        )
+        assert predicate.name == "sll"
+        assert predicate.arity == 1
+        assert predicate.param_types == ("SllNode*",)
+        assert len(predicate.cases) == 2
+
+    def test_multiple_definitions_into_registry(self):
+        registry = parse_predicates(
+            """
+            pred p(x) := (emp & x = nil) | (exists n. x -> SllNode{next: n} * p(n));
+            pred q(x, y) := (emp & x = y);
+            """
+        )
+        assert "p" in registry and "q" in registry
+        assert registry.get("q").arity == 2
+
+    def test_standard_library_parses(self):
+        registry = standard_predicates()
+        assert len(registry) >= 20
+        dll = registry.get("dll")
+        assert dll.params == ("hd", "pr", "tl", "nx")
+        assert dll.singleton_count() == 1
+        assert dll.inductive_count() == 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "sll(x)",
+            "exists u1. lseg(x, u1) & u1 = nil",
+            "exists u1, u2. dll(x, u1, u2, nil) * dll(y, nil, u1, u2)",
+            "x -> DllNode(a, b) & a != b",
+        ],
+    )
+    def test_formula_round_trips_through_pretty(self, text):
+        formula = parse_formula(text)
+        assert parse_formula(pretty(formula)) == formula
+
+    def test_predicate_round_trips_through_pretty(self):
+        registry = standard_predicates()
+        for name in ("sll", "lseg", "dll", "tree"):
+            predicate = registry.get(name)
+            reparsed = parse_predicate(pretty_predicate(predicate))
+            assert reparsed.name == predicate.name
+            assert reparsed.arity == predicate.arity
+            assert len(reparsed.cases) == len(predicate.cases)
+
+    def test_pretty_with_field_names(self):
+        formula = parse_formula("x -> DllNode{next: a, prev: b}")
+        rendered = pretty(formula, STRUCT_FIELDS)
+        assert "next: a" in rendered and "prev: b" in rendered
+
+
+class TestPrettyModel:
+    def test_model_rendering_includes_freed_marker(self):
+        from repro.sl.model import Heap, HeapCell, StackHeapModel
+
+        model = StackHeapModel(
+            {"x": 1},
+            Heap({1: HeapCell("SllNode", {"next": 0})}),
+            freed_addresses=[1],
+        )
+        rendered = pretty_model(model)
+        assert "x = 0x1" in rendered
+        assert "(freed)" in rendered
