@@ -1,0 +1,29 @@
+# Development targets. Everything runs offline with the in-tree sources.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: check test smoke bench docs table1 table2
+
+# Tier-1 gate: the full test suite plus a CLI smoke test, one command.
+check: test smoke
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro table1 --category SLL --limit 2 --json > /dev/null
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro docs --stdout > /dev/null
+	@echo "CLI smoke test OK"
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --jobs 4 --limit 2
+
+docs:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro docs
+
+table1:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro table1 --jobs 4
+
+table2:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro table2 --jobs 4

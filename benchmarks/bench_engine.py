@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Benchmark the batch-inference engine: parallelism and memoization.
+
+Runs three sweeps over the Table 1 suite (sequential with the checker memo
+disabled, sequential with caches, parallel with caches), checks that the
+parallel sweep reproduces the sequential invariants exactly, and records
+wall times, speedups and cache hit rates as JSON.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_engine.py --category SLL --out engine.json
+
+This is the ``python -m repro bench`` subcommand (see ``repro.cli``); the
+wrapper exists so the performance harnesses live together under
+``benchmarks/`` and simply delegates, flags and all.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    main(["bench", *sys.argv[1:]])

@@ -6,14 +6,21 @@ the paper's Table 1 (absolute values differ -- interpreter + pure-Python
 checker instead of compiled C + Z3 -- but the per-category ordering and the
 counts of locations/traces/invariants are the reproduction targets).
 
-Run the complete table outside of pytest with
-``python -m repro.evaluation.table1``.
+The rows are produced by the batch-inference engine; set
+``REPRO_BENCH_JOBS=N`` to fan each category out over N worker processes
+(the measured results are identical, per the engine's determinism
+guarantee).  Run the complete table outside of pytest with
+``python -m repro table1 --jobs N``.
 """
+
+import os
 
 import pytest
 
 from repro.evaluation.table1 import run_table1
 from repro.benchsuite import categories
+
+_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: A representative subset of categories keeps the pytest-benchmark run
 #: short; pass ``--all-categories`` behaviour by invoking the module instead.
@@ -36,7 +43,7 @@ _BENCH_CATEGORIES = [
 @pytest.mark.parametrize("category", _BENCH_CATEGORIES)
 def test_table1_category(once, category):
     """Regenerate one Table 1 row and sanity-check its aggregate counts."""
-    result = once(run_table1, categories=[category])
+    result = once(run_table1, categories=[category], jobs=_JOBS)
     assert len(result.rows) == 1
     row = result.rows[0]
     assert row.program_count > 0

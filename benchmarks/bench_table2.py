@@ -5,13 +5,19 @@ properties found only by SLING vastly outnumber those found only by the
 static baseline, and the properties found by both sit in the simple
 recursive singly-linked-list/tree programs.
 
+The comparisons are produced by the batch-inference engine; set
+``REPRO_BENCH_JOBS=N`` to fan each group out over N worker processes.
 Run the complete table outside of pytest with
-``python -m repro.evaluation.table2``.
+``python -m repro table2 --jobs N``.
 """
+
+import os
 
 import pytest
 
 from repro.evaluation.table2 import run_table2
+
+_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 _BENCH_GROUPS = {
     "simple-lists": ["SLL", "GRASShopper_SLL (Recursive)", "AFWP_SLL"],
@@ -24,7 +30,7 @@ _BENCH_GROUPS = {
 @pytest.mark.parametrize("group", sorted(_BENCH_GROUPS))
 def test_table2_group(once, group):
     """Regenerate Table 2 rows for a group of categories and check its shape."""
-    result = once(run_table2, categories=_BENCH_GROUPS[group])
+    result = once(run_table2, categories=_BENCH_GROUPS[group], jobs=_JOBS)
     summary = result.summary()
     assert summary.total > 0
     # The headline result of the comparison: SLING covers at least as many

@@ -1,12 +1,28 @@
-"""Legacy setup shim.
+"""Packaging for the SLING reproduction.
 
 The execution environment ships an older setuptools without the ``wheel``
 package, so PEP 660 editable installs (``pip install -e .``) cannot build the
-editable wheel.  This shim keeps ``pip install -e . --no-build-isolation`` and
-``python setup.py develop`` working offline; all metadata lives in
-``pyproject.toml``.
+editable wheel.  Metadata therefore lives here (not in ``pyproject.toml``),
+keeping ``pip install -e . --no-build-isolation`` and ``python setup.py
+develop`` working offline.  The package also runs uninstalled with
+``PYTHONPATH=src`` (that is what the test suite and the Makefile use).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="sling-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of SLING (PLDI 2019): dynamic inference of "
+        "separation-logic invariants, with a parallel batch-inference engine"
+    ),
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ]
+    },
+)

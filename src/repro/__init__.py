@@ -11,14 +11,25 @@ The package is organised as follows:
   test inputs inside the interpreter heap.
 * :mod:`repro.core` -- the SLING inference algorithm itself (heap
   partitioning, atomic-predicate inference, pure inference, frame-rule
-  validation).
+  validation) and the parallel batch-inference engine
+  (:mod:`repro.core.engine`) that fans inference jobs out over a worker
+  pool with per-job timeouts and cache accounting.
 * :mod:`repro.baselines` -- a simplified static bi-abduction analyser used
   as the S2 comparison point of Table 2.
 * :mod:`repro.benchsuite` -- heaplang re-implementations of the paper's
   benchmark categories together with their documented invariants.
-* :mod:`repro.evaluation` -- harnesses regenerating Table 1 and Table 2.
+* :mod:`repro.evaluation` -- harnesses regenerating Table 1 and Table 2 on
+  top of the engine (``jobs=N`` parallel sweeps).
+* :mod:`repro.cli` -- the ``repro`` command line (``python -m repro
+  infer|table1|table2|bench|docs``).
+
+The hot path is memoized at two levels: the symbolic-heap model checker
+caches reductions per (alpha-normalized formula, model) and the inductive
+predicates cache their case unfoldings per argument shape; both expose
+hit/miss counters that the engine reports per job.
 """
 
+from repro.core.engine import EngineJob, EngineReport, InferenceEngine
 from repro.core.sling import Sling, SlingConfig, infer_invariants, infer_specification
 
 __all__ = [
@@ -26,6 +37,9 @@ __all__ = [
     "SlingConfig",
     "infer_invariants",
     "infer_specification",
+    "EngineJob",
+    "EngineReport",
+    "InferenceEngine",
 ]
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

@@ -1,0 +1,224 @@
+"""The ``repro`` command-line interface.
+
+Installed as the ``repro`` console script and runnable as ``python -m
+repro``.  Subcommands:
+
+``infer``
+    Run full specification inference on named benchmarks (or whole
+    categories) through the batch engine and print the invariants.
+``table1`` / ``table2``
+    Regenerate the paper's evaluation tables, optionally in parallel
+    (``--jobs N``) and as JSON (``--json``).
+``bench``
+    Measure sequential-vs-parallel wall time and cache hit rates of the
+    engine over the Table 1 suite and emit a JSON report.
+``docs``
+    Regenerate ``docs/predicates.md`` from the predicate standard library.
+
+Every subcommand that analyses programs goes through
+:class:`repro.core.engine.InferenceEngine`, so ``--jobs``/``--timeout``
+behave identically everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.engine import EngineError, EngineJob, InferenceEngine, benchmark_engine
+from repro.evaluation.table1 import add_table1_arguments, table1_command
+from repro.evaluation.table2 import add_table2_arguments, table2_command
+from repro.sl.stdpreds import STRUCT_FIELDS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLING reproduction: dynamic inference of separation-logic invariants.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    infer = subparsers.add_parser(
+        "infer", help="infer specifications for benchmarks from the registry"
+    )
+    infer.add_argument(
+        "--benchmark",
+        action="append",
+        help="benchmark name, e.g. sll/insertFront (repeatable)",
+    )
+    infer.add_argument(
+        "--category", action="append", help="run every benchmark of a category (repeatable)"
+    )
+    infer.add_argument("--list", action="store_true", help="list benchmark names and exit")
+    infer.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
+    infer.add_argument("--jobs", type=int, default=1, help="engine worker processes")
+    infer.add_argument(
+        "--timeout", type=float, default=None, help="per-benchmark timeout in seconds"
+    )
+    infer.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    infer.set_defaults(handler=_cmd_infer)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1 (invariant inference)")
+    add_table1_arguments(table1)
+    table1.set_defaults(handler=table1_command)
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table 2 (SLING vs S2)")
+    add_table2_arguments(table2)
+    table2.set_defaults(handler=table2_command)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark the engine: sequential vs parallel, cache hit rates"
+    )
+    bench.add_argument("--category", action="append", help="restrict to a category (repeatable)")
+    bench.add_argument(
+        "--limit", type=int, default=None, help="cap programs per category (smoke runs)"
+    )
+    bench.add_argument("--jobs", type=int, default=4, help="parallel sweep worker count")
+    bench.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
+    bench.add_argument("--out", default=None, help="write the JSON report to this file")
+    bench.add_argument("--quiet", action="store_true", help="suppress progress messages")
+    bench.set_defaults(handler=_cmd_bench)
+
+    docs = subparsers.add_parser("docs", help="regenerate docs/predicates.md")
+    docs.add_argument(
+        "--out",
+        default="docs/predicates.md",
+        help="output path (default: docs/predicates.md)",
+    )
+    docs.add_argument("--stdout", action="store_true", help="print to stdout instead")
+    docs.set_defaults(handler=_cmd_docs)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers
+# ---------------------------------------------------------------------------
+
+
+def _cmd_infer(arguments: argparse.Namespace) -> None:
+    from repro.benchsuite.registry import all_benchmarks
+
+    if arguments.list:
+        for benchmark in all_benchmarks():
+            print(f"{benchmark.name:32s} [{benchmark.category}]")
+        return
+
+    names: list[str] = list(arguments.benchmark or [])
+    if arguments.category:
+        wanted = set(arguments.category)
+        names.extend(
+            benchmark.name
+            for benchmark in all_benchmarks()
+            if benchmark.category in wanted and benchmark.name not in names
+        )
+    if not names:
+        raise SystemExit("infer: pass --benchmark NAME and/or --category NAME (or --list)")
+
+    engine = InferenceEngine(jobs=arguments.jobs, job_timeout=arguments.timeout)
+    reports = engine.run(
+        [EngineJob(kind="spec", benchmark=name, seed=arguments.seed) for name in names]
+    )
+
+    if arguments.json:
+        print(json.dumps([_spec_report_dict(report) for report in reports], indent=2))
+        failed = sum(1 for report in reports if not report.ok)
+        if failed:
+            raise SystemExit(f"infer: {failed} benchmark(s) failed")
+        return
+
+    failures = 0
+    for report in reports:
+        if not report.ok:
+            failures += 1
+            print(f"== {report.job.benchmark}: FAILED ({report.error})")
+            continue
+        payload = report.payload
+        spec = payload.specification
+        print(f"== {payload.benchmark} ({payload.function}), {report.seconds:.2f}s ==")
+        for invariant in spec.preconditions:
+            print(f"  [pre     ] {invariant.pretty(STRUCT_FIELDS)}")
+        for location, invariants in spec.postconditions.items():
+            for invariant in invariants:
+                flag = " (spurious)" if invariant.spurious else ""
+                print(f"  [{location:8s}] {invariant.pretty(STRUCT_FIELDS)}{flag}")
+        for location, invariants in spec.loop_invariants.items():
+            for invariant in invariants:
+                print(f"  [{location:8s}] {invariant.pretty(STRUCT_FIELDS)}")
+        print(f"  validated: {spec.validated}")
+    if failures:
+        raise SystemExit(f"infer: {failures} benchmark(s) failed")
+
+
+def _spec_report_dict(report) -> dict:
+    data = {
+        "benchmark": report.job.benchmark,
+        "ok": report.ok,
+        "seconds": round(report.seconds, 4),
+        "cache": report.cache.as_dict(),
+    }
+    if not report.ok:
+        data["error"] = report.error
+        return data
+    spec = report.payload.specification
+    data["function"] = report.payload.function
+    data["validated"] = spec.validated
+    data["invariants"] = [
+        {
+            "location": invariant.location,
+            "formula": invariant.pretty(),
+            "spurious": invariant.spurious,
+        }
+        for invariant in spec.all_invariants()
+    ]
+    return data
+
+
+def _cmd_bench(arguments: argparse.Namespace) -> None:
+    progress = None if arguments.quiet else lambda message: print(f"# {message}", file=sys.stderr)
+    report = benchmark_engine(
+        categories=arguments.category,
+        limit=arguments.limit,
+        jobs=arguments.jobs,
+        seed=arguments.seed,
+        progress=progress,
+    )
+    text = json.dumps(report, indent=2)
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {arguments.out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _cmd_docs(arguments: argparse.Namespace) -> None:
+    from repro.docsgen import render_predicate_reference
+
+    text = render_predicate_reference()
+    if arguments.stdout:
+        print(text, end="")
+        return
+    import os
+
+    directory = os.path.dirname(arguments.out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(arguments.out, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {arguments.out}", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Entry point of the ``repro`` console script and ``python -m repro``."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        arguments.handler(arguments)
+    except EngineError as error:
+        raise SystemExit(f"{arguments.command}: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,543 @@
+"""Parallel batch-inference engine.
+
+The engine is the one entry point through which every harness (the Table 1 /
+Table 2 evaluations, the CLI, the performance benchmarks) runs SLING over
+benchmark programs.  It accepts a batch of :class:`EngineJob` descriptions --
+(benchmark, kind, seed, configuration) tuples -- and executes them either
+inline (``jobs=1``) or fanned out over a ``multiprocessing`` worker pool,
+returning one structured :class:`EngineReport` per job **in job order**.
+
+Design notes
+------------
+
+* Jobs are *named*, not closured: a job carries the registry name of its
+  benchmark (e.g. ``"sll/insertFront"``) and the worker resolves it through
+  :mod:`repro.benchsuite.registry` on its side of the fork.  Benchmark
+  objects hold test-case closures and are deliberately never pickled.
+* Workers never raise: failures (including timeouts enforced by the parent)
+  are reported as ``ok=False`` reports with the error message preserved, so
+  a single crashing benchmark cannot take down a full-suite sweep.
+* Determinism: inference is deterministic per (benchmark, seed, config) --
+  the candidate search, the model checker and the existential-renaming
+  normalization are all order-stable -- so ``jobs=N`` produces exactly the
+  same invariants as ``jobs=1``, merely faster.  :func:`benchmark_engine`
+  asserts this property on every run (a divergence raises
+  :class:`EngineError`).
+* Cache accounting: each report carries the checker-memo and
+  predicate-unfolding cache counters (:class:`CacheStats`) measured inside
+  the worker for exactly that job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.core.sling import SlingConfig
+
+#: Job kinds understood by :func:`execute_job`.
+JOB_KINDS = ("spec", "table1", "table2")
+
+
+class EngineError(RuntimeError):
+    """A batch run failed in a way the caller did not ask to tolerate."""
+
+
+@dataclass(frozen=True)
+class EngineJob:
+    """One unit of work for the engine.
+
+    ``kind`` selects the payload computed by the worker:
+
+    ``"spec"``
+        Run full specification inference; payload is a :class:`SpecPayload`.
+    ``"table1"``
+        Payload is a :class:`repro.evaluation.table1.ProgramResult`.
+    ``"table2"``
+        Payload is a :class:`repro.evaluation.table2.BenchmarkComparison`.
+
+    ``timeout`` (seconds) overrides the engine-wide ``job_timeout``.  It is a
+    true per-job wall-clock budget, enforced *inside* the executing process
+    with an interval timer (the inference search is pure Python, so the
+    resulting alarm always interrupts it); a timed-out job yields an
+    ``ok=False`` report whose :attr:`EngineReport.timed_out` is true.
+    """
+
+    kind: str
+    benchmark: str
+    seed: int = 0
+    config: SlingConfig | None = None
+    timeout: float | None = None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of the two memoization layers, for one job."""
+
+    checker_hits: int = 0
+    checker_misses: int = 0
+    unfold_hits: int = 0
+    unfold_misses: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another job's counters into this one."""
+        self.checker_hits += other.checker_hits
+        self.checker_misses += other.checker_misses
+        self.unfold_hits += other.unfold_hits
+        self.unfold_misses += other.unfold_misses
+
+    @property
+    def checker_hit_rate(self) -> float:
+        total = self.checker_hits + self.checker_misses
+        return self.checker_hits / total if total else 0.0
+
+    @property
+    def unfold_hit_rate(self) -> float:
+        total = self.unfold_hits + self.unfold_misses
+        return self.unfold_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "checker_hits": self.checker_hits,
+            "checker_misses": self.checker_misses,
+            "checker_hit_rate": round(self.checker_hit_rate, 4),
+            "unfold_hits": self.unfold_hits,
+            "unfold_misses": self.unfold_misses,
+            "unfold_hit_rate": round(self.unfold_hit_rate, 4),
+        }
+
+
+@dataclass
+class EngineReport:
+    """The structured outcome of one job (success or failure)."""
+
+    job: EngineJob
+    ok: bool
+    error: str | None
+    seconds: float
+    cache: CacheStats = field(default_factory=CacheStats)
+    payload: object | None = None
+
+    @property
+    def timed_out(self) -> bool:
+        return not self.ok and self.error is not None and self.error.startswith("timeout")
+
+
+@dataclass
+class SpecPayload:
+    """Payload of a ``"spec"`` job: the inferred specification."""
+
+    benchmark: str
+    function: str
+    specification: object  # repro.core.results.Specification
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _JobTimeout(Exception):
+    """Raised inside a job when its wall-clock budget expires."""
+
+
+def _raise_job_timeout(signum, frame):  # noqa: ARG001 -- signal handler shape
+    raise _JobTimeout
+
+
+def execute_job(job: EngineJob) -> EngineReport:
+    """Run one job to completion, converting any failure into a report.
+
+    This is the function submitted to pool workers; it is also what
+    ``jobs=1`` runs inline, so sequential and parallel execution share one
+    code path -- including timeout enforcement, which uses ``SIGALRM`` and
+    therefore measures each job individually (not batch wall-clock).
+    Timeouts are skipped off the main thread, where signals cannot be
+    delivered.
+    """
+    start = time.perf_counter()
+    try:
+        return _execute_with_timer(job, start)
+    except _JobTimeout:
+        # The alarm can also fire in the narrow window after _dispatch
+        # returns (or while a failure report is being built) but before the
+        # timer is cleared; catch it here so workers never raise.
+        return EngineReport(
+            job=job,
+            ok=False,
+            error=f"timeout after {job.timeout:.3g}s",
+            seconds=time.perf_counter() - start,
+        )
+
+
+def _execute_with_timer(job: EngineJob, start: float) -> EngineReport:
+    use_timer = (
+        job.timeout is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler = None
+    try:
+        if use_timer:
+            previous_handler = signal.signal(signal.SIGALRM, _raise_job_timeout)
+            signal.setitimer(signal.ITIMER_REAL, job.timeout)
+        payload, cache = _dispatch(job)
+    except _JobTimeout:
+        return EngineReport(
+            job=job,
+            ok=False,
+            error=f"timeout after {job.timeout:.3g}s",
+            seconds=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
+        return EngineReport(
+            job=job,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - start,
+        )
+    finally:
+        if use_timer:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    return EngineReport(
+        job=job,
+        ok=True,
+        error=None,
+        seconds=time.perf_counter() - start,
+        cache=cache,
+        payload=payload,
+    )
+
+
+def _dispatch(job: EngineJob) -> tuple[object, CacheStats]:
+    """Resolve the benchmark by name and compute the job's payload."""
+    # Imports are deliberately local: the registry and evaluation modules
+    # import repro.core, and workers only need them at execution time.
+    from repro.benchsuite.registry import get_benchmark
+
+    if job.kind not in JOB_KINDS:
+        raise EngineError(f"unknown job kind {job.kind!r} (expected one of {JOB_KINDS})")
+    benchmark = get_benchmark(job.benchmark)
+
+    if job.kind == "table1":
+        from repro.evaluation.table1 import evaluate_program
+
+        result = evaluate_program(benchmark, config=job.config, seed=job.seed)
+        cache = CacheStats(
+            checker_hits=result.checker_cache_hits,
+            checker_misses=result.checker_cache_misses,
+            unfold_hits=result.unfold_cache_hits,
+            unfold_misses=result.unfold_cache_misses,
+        )
+        return result, cache
+
+    if job.kind == "table2":
+        from repro.evaluation.table2 import compare_benchmark
+
+        comparison, cache = compare_benchmark(benchmark, config=job.config, seed=job.seed)
+        return comparison, cache
+
+    # job.kind == "spec"
+    from repro.core.sling import Sling
+
+    config = job.config or SlingConfig(discard_crashed_runs=True)
+    unfold_before = benchmark.predicates.unfold_stats()
+    sling = Sling(benchmark.program, benchmark.predicates, config)
+    specification = sling.infer_function(benchmark.function, benchmark.test_cases(job.seed))
+    cache = collect_cache_stats(sling, unfold_before)
+    return (
+        SpecPayload(
+            benchmark=benchmark.name,
+            function=benchmark.function,
+            specification=specification,
+        ),
+        cache,
+    )
+
+
+def collect_cache_stats(sling, unfold_before: dict[str, int] | None = None) -> CacheStats:
+    """Snapshot a :class:`~repro.core.sling.Sling`'s cache counters.
+
+    The unfolding caches live on the (shared, long-lived) predicate registry,
+    so callers that want per-run numbers pass the registry's counters from
+    before the run and get the difference.
+    """
+    stats = sling.cache_stats()
+    before_hits = unfold_before["hits"] if unfold_before else 0
+    before_misses = unfold_before["misses"] if unfold_before else 0
+    return CacheStats(
+        checker_hits=stats["checker_hits"],
+        checker_misses=stats["checker_misses"],
+        unfold_hits=stats["unfold_hits"] - before_hits,
+        unfold_misses=stats["unfold_misses"] - before_misses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class InferenceEngine:
+    """Runs batches of :class:`EngineJob` with bounded parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-pool size.  ``1`` (the default) executes inline in the
+        calling process -- no fork, no pickling -- which is also the
+        reference behaviour parallel runs must reproduce bit-for-bit.
+    job_timeout:
+        Default per-job timeout in seconds (see :class:`EngineJob.timeout`).
+        ``None`` waits indefinitely.  Enforced per job by an interval timer
+        inside the executing process, so it works for inline runs too.
+    """
+
+    def __init__(self, jobs: int = 1, job_timeout: float | None = None):
+        if jobs < 1:
+            raise EngineError(f"engine needs at least one worker, got jobs={jobs}")
+        self.jobs = jobs
+        self.job_timeout = job_timeout
+
+    def run(self, batch: Sequence[EngineJob]) -> list[EngineReport]:
+        """Execute a batch and return one report per job, in job order."""
+        # Bake the engine-wide default timeout into each job so the executing
+        # process (inline or pool worker) enforces it locally.
+        batch = [
+            replace(job, timeout=self.job_timeout)
+            if job.timeout is None and self.job_timeout is not None
+            else job
+            for job in batch
+        ]
+        if not batch:
+            return []
+        if self.jobs == 1 or len(batch) == 1:
+            return [execute_job(job) for job in batch]
+        return self._run_pool(batch)
+
+    def run_named(
+        self,
+        names: Sequence[str],
+        kind: str = "spec",
+        seed: int = 0,
+        config: SlingConfig | None = None,
+    ) -> list[EngineReport]:
+        """Convenience wrapper: one ``kind`` job per benchmark name."""
+        return self.run(
+            [
+                EngineJob(kind=kind, benchmark=name, seed=seed, config=config)
+                for name in names
+            ]
+        )
+
+    # ------------------------------------------------------------ internals --
+
+    def _run_pool(self, batch: list[EngineJob]) -> list[EngineReport]:
+        # Load the registry in the parent so forked workers inherit it and
+        # do not re-import the benchmark modules once per process.
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.benchsuite.registry import load_all
+
+        load_all()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        # Workers enforce their own (per-job) timeouts via SIGALRM, so the
+        # parent simply collects results in submission order.  A worker that
+        # dies without returning (segfault, OOM kill) breaks the executor,
+        # which surfaces here as an exception per lost future -- converted
+        # to a failed report rather than hanging or crashing the sweep.
+        reports: list[EngineReport] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(batch)), mp_context=context
+        ) as pool:
+            futures = [pool.submit(execute_job, job) for job in batch]
+            for job, future in zip(batch, futures):
+                try:
+                    reports.append(future.result())
+                except Exception as exc:  # noqa: BLE001 -- BrokenProcessPool et al.
+                    reports.append(
+                        EngineReport(
+                            job=job,
+                            ok=False,
+                            error=f"worker lost: {type(exc).__name__}: {exc}",
+                            seconds=0.0,
+                        )
+                    )
+        return reports
+
+
+def run_category_batch(
+    kind: str,
+    categories: Sequence[str] | None = None,
+    max_programs_per_category: int | None = None,
+    keep: Callable[[object], bool] | None = None,
+    seed: int = 0,
+    config: SlingConfig | None = None,
+    jobs: int = 1,
+    job_timeout: float | None = None,
+) -> list[tuple[str, str, object]]:
+    """Select registry benchmarks by category and run one ``kind`` job each.
+
+    The shared orchestration of the Table 1 / Table 2 harnesses: filter the
+    registry (``categories`` restricts, ``max_programs_per_category`` caps,
+    ``keep`` drops individual benchmarks), dispatch through the engine, and
+    return ``(category, benchmark name, payload)`` triples in registry
+    order.  A failed or timed-out job raises :class:`EngineError` naming
+    the benchmark.
+    """
+    from repro.benchsuite.registry import benchmarks_by_category
+
+    selected = []
+    for category, benchmarks in benchmarks_by_category().items():
+        if categories is not None and category not in categories:
+            continue
+        if max_programs_per_category is not None:
+            benchmarks = benchmarks[:max_programs_per_category]
+        selected.extend(
+            (category, benchmark)
+            for benchmark in benchmarks
+            if keep is None or keep(benchmark)
+        )
+
+    engine = InferenceEngine(jobs=jobs, job_timeout=job_timeout)
+    reports = engine.run(
+        [
+            EngineJob(kind=kind, benchmark=benchmark.name, seed=seed, config=config)
+            for _, benchmark in selected
+        ]
+    )
+    results = []
+    for (category, benchmark), report in zip(selected, reports):
+        if not report.ok:
+            raise EngineError(f"benchmark {benchmark.name!r} failed: {report.error}")
+        results.append((category, benchmark.name, report.payload))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Engine benchmark harness
+# ---------------------------------------------------------------------------
+
+
+def benchmark_engine(
+    categories: Sequence[str] | None = None,
+    limit: int | None = None,
+    jobs: int = 2,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Measure sequential vs. parallel wall time and cache effectiveness.
+
+    Three sweeps over the (optionally restricted) Table 1 suite:
+
+    1. sequential with all caches enabled (this cold sweep also pays the
+       one-time registry import and unfold-template warm-up, so the
+       speedups below are conservative, not inflated),
+    2. sequential with the checker memo disabled (the pre-engine baseline;
+       the unfolding caches on the shared predicate registries stay warm
+       across sweeps and cannot be disabled),
+    3. parallel with ``jobs`` workers and all caches enabled,
+
+    returning a JSON-serializable report with wall times, speedups and
+    cache hit rates.  The per-program invariants of the parallel sweep are
+    compared with the sequential cached sweep; a mismatch raises
+    :class:`EngineError` (the engine's determinism guarantee is asserted,
+    not merely reported).
+    """
+    from repro.evaluation.table1 import run_table1
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    def sweep(config: SlingConfig | None, sweep_jobs: int):
+        start = time.perf_counter()
+        result = run_table1(
+            categories=categories,
+            config=config,
+            seed=seed,
+            max_programs_per_category=limit,
+            jobs=sweep_jobs,
+        )
+        return time.perf_counter() - start, result
+
+    uncached_config = SlingConfig(discard_crashed_runs=True, checker_cache_size=0)
+
+    say("sweep 1/3: sequential, caches enabled")
+    sequential_seconds, sequential_result = sweep(None, 1)
+    say("sweep 2/3: sequential, checker cache disabled")
+    nocache_seconds, nocache_result = sweep(uncached_config, 1)
+    say(f"sweep 3/3: parallel with {jobs} workers, caches enabled")
+    parallel_seconds, parallel_result = sweep(None, jobs)
+
+    sequential_fingerprints = table1_fingerprints(sequential_result)
+    if sequential_fingerprints != table1_fingerprints(nocache_result):
+        raise EngineError(
+            "cached sweep diverged from the uncached baseline; "
+            "the checker memo is changing results"
+        )
+    deterministic = sequential_fingerprints == table1_fingerprints(parallel_result)
+    if not deterministic:
+        raise EngineError(
+            f"parallel sweep (jobs={jobs}) diverged from the sequential results; "
+            "the engine's determinism guarantee is broken"
+        )
+    cache = sequential_result.cache_totals()
+
+    return {
+        "benchmarks": sum(row.program_count for row in sequential_result.rows),
+        "jobs": jobs,
+        "wall_seconds": {
+            "sequential_nocache": round(nocache_seconds, 3),
+            "sequential": round(sequential_seconds, 3),
+            "parallel": round(parallel_seconds, 3),
+        },
+        "speedup": {
+            "cache": round(nocache_seconds / sequential_seconds, 3)
+            if sequential_seconds
+            else None,
+            "parallel": round(sequential_seconds / parallel_seconds, 3)
+            if parallel_seconds
+            else None,
+            "combined": round(nocache_seconds / parallel_seconds, 3)
+            if parallel_seconds
+            else None,
+        },
+        "cache": cache.as_dict(),
+        "deterministic": deterministic,
+        "available_cpus": multiprocessing.cpu_count(),
+    }
+
+
+def table1_fingerprints(result) -> list[tuple]:
+    """Order-stable identity of a Table 1 run's inferred invariants.
+
+    Used to assert that parallel sweeps reproduce the sequential results
+    exactly (timings excluded, of course).
+    """
+    fingerprints = []
+    for row in result.rows:
+        for program in row.programs:
+            invariants: tuple[str, ...] = ()
+            if program.specification is not None:
+                invariants = tuple(
+                    invariant.pretty()
+                    for invariant in program.specification.all_invariants()
+                )
+            fingerprints.append(
+                (row.category, program.name, program.classification, invariants)
+            )
+    return fingerprints
+
+
+def default_job_config(config: SlingConfig | None = None, **overrides) -> SlingConfig:
+    """The engine's default analysis configuration (paper setup + crash discard)."""
+    base = config or SlingConfig(discard_crashed_runs=True)
+    return replace(base, **overrides) if overrides else base

@@ -60,6 +60,8 @@ class SlingConfig:
     max_candidates_per_pred: int = 4000
     #: Step budget of the symbolic-heap model checker per reduction.
     checker_max_steps: int = 50_000
+    #: Capacity of the checker's reduction memo table (0 disables it).
+    checker_cache_size: int = 65_536
     #: Variable-analysis order: "reachability" (the paper's heuristic),
     #: "stack" (declaration order) or "reverse" (ablation baselines).
     variable_order: str = "reachability"
@@ -98,7 +100,22 @@ class Sling:
         self.program = program
         self.predicates = predicates
         self.config = config or SlingConfig()
-        self.checker = ModelChecker(predicates, max_steps=self.config.checker_max_steps)
+        self.checker = ModelChecker(
+            predicates,
+            max_steps=self.config.checker_max_steps,
+            cache_size=self.config.checker_cache_size,
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the checker memo and the unfolding caches."""
+        checker = self.checker.cache_info()
+        unfold = self.predicates.unfold_stats()
+        return {
+            "checker_hits": checker["hits"],
+            "checker_misses": checker["misses"],
+            "unfold_hits": unfold["hits"],
+            "unfold_misses": unfold["misses"],
+        }
 
     # ------------------------------------------------------------------ tracing --
 
@@ -403,7 +420,12 @@ def _normalize_existentials(formula: SymHeap, free: set[str]) -> SymHeap:
         return formula
     renaming: dict[str, Var] = {}
     counter = 1
-    taken = set(free) | set(formula.exists)
+    # The generated names are all substituted away, so they must not block
+    # their own replacements: keeping them in ``taken`` would make the
+    # renumbering depend on the raw counter values (alpha-variants of the
+    # same invariant would render differently, breaking the engine's
+    # determinism fingerprint and the pretty-based deduplication).
+    taken = (set(free) | set(formula.exists)) - set(generated)
     for name in generated:
         while f"u{counter}" in taken:
             counter += 1

@@ -1,0 +1,226 @@
+"""Generator for ``docs/predicates.md`` (the inductive-predicate reference).
+
+Run it with ``python -m repro docs``.  Everything except the one-line
+informal meanings is *derived*: signatures and definitions are rendered from
+the parsed standard library (:mod:`repro.sl.stdpreds`), complexity metrics
+are computed, and the example models are concrete stack-heap models built by
+the :mod:`repro.datagen` generators and verified to satisfy the predicate by
+the symbolic-heap model checker before they are printed.  Regenerating the
+file therefore fails loudly if the documentation and the code drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.datagen import generators as datagen
+from repro.lang.heap import RuntimeHeap
+from repro.lang.types import standard_structs
+from repro.sl.checker import ModelChecker
+from repro.sl.exprs import Var
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.predicates import InductivePredicate, PredicateRegistry, predicate_complexity
+from repro.sl.pretty import pretty, pretty_model
+from repro.sl.spatial import PredApp, SymHeap
+from repro.sl.stdpreds import STRUCT_FIELDS, standard_predicates
+
+#: Curated one-line meanings; everything else in the generated file is derived.
+_MEANINGS: dict[str, str] = {
+    "sll": "nil-terminated singly-linked list rooted at `x`.",
+    "lseg": "singly-linked list segment from `x` up to (excluding) `y`.",
+    "slldata": "nil-terminated singly-linked list of data-carrying nodes.",
+    "slsegdata": "data-carrying list segment from `x` up to (excluding) `y`.",
+    "sls": "sorted (ascending) singly-linked list with all data >= `mi`.",
+    "slseg": "sorted list segment from `x` to `y` with all data >= `mi`.",
+    "dll": "doubly-linked list segment from `hd` (previous cell `pr`) to `tl` (next cell `nx`).",
+    "cll": "circular singly-linked list rooted at `x` (the last node points back to `x`).",
+    "clseg": "circular-list segment from `x` up to (excluding) `y`.",
+    "tree": "binary tree rooted at `x` with nil leaves.",
+    "treeseg": "binary tree with one subtree replaced by the hole `y` (a tree context).",
+    "bst": "binary search tree with all data in the interval [`mi`, `ma`].",
+    "avl": "height-balanced (AVL) tree of height `h` with per-node height fields.",
+    "pheap": "max-heap-ordered binary tree with all data <= `ub`.",
+    "rbt": "red-black tree with root color `c` (1 = red) and black height `bh`.",
+    "qlseg": "queue-node segment from `x` up to (excluding) `y`.",
+    "qlist": "queue body: a node chain from head `h` to tail `t`, `t` pointing to nil.",
+    "queue": "OpenBSD-style queue: a header cell `q` plus its node chain.",
+    "gsll": "glib GSList: nil-terminated singly-linked list with data.",
+    "gslseg": "glib GSList segment from `x` up to (excluding) `y`.",
+    "gdll": "glib GList: doubly-linked, data-carrying list segment (like `dll`).",
+    "nll": "nested list: each node owns a child singly-linked list.",
+    "binheap": "binomial-heap forest over child/sibling pointers.",
+    "swtree": "Schorr-Waite binary tree with per-node mark bits.",
+    "memdll": "doubly-linked list of sized memory chunks (like `dll`).",
+    "iter": "iterator cursor `it` over the list `lst`: the traversed prefix is a segment, the rest a list.",
+}
+
+
+def _runtime_model(
+    build: Callable[[RuntimeHeap, random.Random], int], root: str = "x"
+) -> StackHeapModel:
+    """Build a structure with a datagen generator and snapshot it as a model."""
+    heap = RuntimeHeap(standard_structs())
+    rng = random.Random(42)
+    value = build(heap, rng)
+    cells = {
+        address: HeapCell(heap.type_of(address), heap.cell(address))
+        for address in heap.live_addresses()
+    }
+    root_type = f"{heap.type_of(value)}*" if value in cells else None
+    var_types = {root: root_type} if root_type else {}
+    return StackHeapModel({root: value}, Heap(cells), var_types)
+
+
+def _iterator_model() -> StackHeapModel:
+    """A hand-rolled iterator model (no datagen generator exists for it)."""
+    heap = RuntimeHeap(standard_structs())
+    second = heap.alloc("SllNode", {"next": 0})
+    first = heap.alloc("SllNode", {"next": second})
+    cursor = heap.alloc("IterNode", {"next": 0, "current": second, "list": first})
+    cells = {
+        address: HeapCell(heap.type_of(address), heap.cell(address))
+        for address in heap.live_addresses()
+    }
+    model = StackHeapModel(
+        {"x": cursor, "lst": first},
+        Heap(cells),
+        {"x": "IterNode*", "lst": "SllNode*"},
+    )
+    return model
+
+
+def _candidate_models() -> list[StackHeapModel]:
+    """Small concrete structures, one per family, used as example candidates."""
+    builders: list[Callable[[RuntimeHeap, random.Random], int]] = [
+        lambda heap, rng: datagen.make_sll(heap, rng, 2),
+        lambda heap, rng: datagen.make_sorted_sll(heap, rng, 2),
+        lambda heap, rng: datagen.make_sll_data(heap, rng, 2),
+        lambda heap, rng: datagen.make_dll(heap, rng, 2),
+        lambda heap, rng: datagen.make_circular_list(heap, rng, 2),
+        lambda heap, rng: datagen.make_tree(heap, rng, 3),
+        lambda heap, rng: datagen.make_bst(heap, rng, 3),
+        lambda heap, rng: datagen.make_avl(heap, rng, 3),
+        lambda heap, rng: datagen.make_max_heap_tree(heap, rng, 3),
+        lambda heap, rng: datagen.make_red_black_tree(heap, rng, 3),
+        lambda heap, rng: datagen.make_queue(heap, rng, 2),
+        lambda heap, rng: datagen.make_glib_sll(heap, rng, 2),
+        lambda heap, rng: datagen.make_glib_dll(heap, rng, 2),
+        lambda heap, rng: datagen.make_nested_list(heap, rng, 2),
+        lambda heap, rng: datagen.make_binomial_heap(heap, rng, 2),
+        lambda heap, rng: datagen.make_sw_tree(heap, rng, 3),
+        lambda heap, rng: datagen.make_mem_chunk_list(heap, rng, 2),
+    ]
+    models = [_runtime_model(build) for build in builders]
+    # qlist/qlseg root at a QNode, not the Queue header: re-root the queue model.
+    queue_model = next(
+        (m for m in models if any(c.type_name == "Queue" for _, c in m.heap.items())), None
+    )
+    if queue_model is not None:
+        header = queue_model.value_of("x")
+        head = queue_model.heap[header].get("head")
+        models.append(
+            StackHeapModel(
+                {"x": head},
+                queue_model.heap.remove([header]),
+                {"x": "QNode*"},
+            )
+        )
+    models.append(_iterator_model())
+    return models
+
+
+def find_example_model(
+    predicate: InductivePredicate,
+    checker: ModelChecker,
+    candidates: Iterable[StackHeapModel],
+) -> StackHeapModel | None:
+    """The first candidate model that *fully* satisfies the predicate.
+
+    The predicate is rooted at the model's ``x`` variable; the remaining
+    parameters are existentially quantified (for ``iter``, the second
+    parameter is the model's ``lst`` variable).  Full coverage is required,
+    so the printed model is exactly the heap the predicate describes.
+    """
+    for model in candidates:
+        args = [Var("x")]
+        exists = []
+        for position, param in enumerate(predicate.params[1:], start=1):
+            if model.has_var(param):
+                args.append(Var(param))
+            else:
+                name = f"p{position}"
+                exists.append(name)
+                args.append(Var(name))
+        formula = SymHeap(exists=exists, spatial=PredApp(predicate.name, args))
+        if model.heap.is_empty():
+            continue
+        if checker.satisfies(model, formula):
+            return model
+    return None
+
+
+def render_predicate_reference(registry: PredicateRegistry | None = None) -> str:
+    """Render the full markdown reference for the predicate library."""
+    registry = registry or standard_predicates()
+    checker = ModelChecker(registry)
+    candidates = _candidate_models()
+
+    lines = [
+        "# Inductive predicate reference",
+        "",
+        "<!-- GENERATED FILE - do not edit by hand. -->",
+        "<!-- Regenerate with: python -m repro docs -->",
+        "",
+        "The standard library of inductive heap predicates handed to SLING,",
+        "as defined in `src/repro/sl/stdpreds.py`. Signatures, definitions and",
+        "metrics are rendered from the parsed definitions; each example model",
+        "is checked against its predicate by the symbolic-heap model checker",
+        "before being printed, so this file cannot silently drift from the",
+        "code.",
+        "",
+    ]
+
+    for predicate in registry:
+        params = ", ".join(
+            f"{name}: {ptype}" if ptype else name
+            for name, ptype in zip(predicate.params, predicate.param_types)
+        )
+        metrics = predicate_complexity(predicate)
+        lines.append(f"## `{predicate.name}({params})`")
+        lines.append("")
+        meaning = _MEANINGS.get(predicate.name)
+        if meaning:
+            lines.append(meaning)
+            lines.append("")
+        lines.append(
+            f"*{metrics['params']} parameters, {len(predicate.cases)} cases, "
+            f"{metrics['singletons']} points-to atoms, "
+            f"{metrics['inductives']} recursive occurrences.*"
+        )
+        lines.append("")
+        lines.append("Definition:")
+        lines.append("")
+        lines.append("```")
+        case_texts = [pretty(case.body, STRUCT_FIELDS) for case in predicate.cases]
+        head = f"{predicate.name}({', '.join(predicate.params)}) :="
+        for index, text in enumerate(case_texts):
+            prefix = head if index == 0 else " " * (len(head) - 2) + "|"
+            lines.append(f"{prefix} {text}")
+        lines.append("```")
+        lines.append("")
+        example = find_example_model(predicate, checker, candidates)
+        if example is not None:
+            lines.append(
+                f"Example model (satisfies `{predicate.name}` rooted at `x`, "
+                "verified by the checker):"
+            )
+            lines.append("")
+            lines.append("```")
+            lines.append(pretty_model(example))
+            lines.append("```")
+        else:
+            lines.append("Example model: (no generated structure satisfies this predicate)")
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,15 +1,40 @@
-"""Evaluation harnesses regenerating the paper's Table 1 and Table 2."""
+"""Evaluation harnesses regenerating the paper's Table 1 and Table 2.
 
-from repro.evaluation.table1 import CategoryRow, Table1Result, run_table1, format_table1
-from repro.evaluation.table2 import Table2Row, Table2Result, run_table2, format_table2
+Both harnesses dispatch per-benchmark work through the batch-inference
+engine (:mod:`repro.core.engine`); pass ``jobs=N`` to parallelize a sweep
+without changing its results.
+"""
+
+from repro.evaluation.table1 import (
+    CategoryRow,
+    ProgramResult,
+    Table1Result,
+    evaluate_program,
+    format_table1,
+    run_table1,
+)
+from repro.evaluation.table2 import (
+    BenchmarkComparison,
+    PropertyOutcome,
+    Table2Row,
+    Table2Result,
+    compare_benchmark,
+    format_table2,
+    run_table2,
+)
 
 __all__ = [
     "CategoryRow",
+    "ProgramResult",
     "Table1Result",
+    "evaluate_program",
     "run_table1",
     "format_table1",
+    "BenchmarkComparison",
+    "PropertyOutcome",
     "Table2Row",
     "Table2Result",
+    "compare_benchmark",
     "run_table2",
     "format_table2",
 ]

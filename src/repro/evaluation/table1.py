@@ -13,17 +13,24 @@ aggregates per category:
 * the average number of singleton predicates, inductive predicates and pure
   equalities per invariant.
 
-Run it from the command line with ``python -m repro.evaluation.table1``.
+Per-benchmark work is dispatched through the batch-inference engine
+(:mod:`repro.core.engine`), so full-suite sweeps parallelize with
+``jobs=N`` while producing the same rows as a sequential run.
+
+Run it from the command line with ``python -m repro.evaluation.table1``
+(or ``python -m repro table1``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.benchsuite.registry import BenchmarkProgram, benchmarks_by_category
+from repro.benchsuite.registry import BenchmarkProgram
+from repro.core.engine import CacheStats, collect_cache_stats, run_category_batch
 from repro.core.results import Specification
 from repro.core.sling import Sling, SlingConfig
 
@@ -44,6 +51,37 @@ class ProgramResult:
     inductive_atoms: int
     pure_atoms: int
     specification: Specification | None = None
+    # Memoization counters of the run that produced this row (engine metric).
+    checker_cache_hits: int = 0
+    checker_cache_misses: int = 0
+    unfold_cache_hits: int = 0
+    unfold_cache_misses: int = 0
+
+    def as_dict(self, include_invariants: bool = False) -> dict:
+        """JSON-serializable view (used by ``python -m repro table1 --json``)."""
+        data = {
+            "name": self.name,
+            "loc": self.loc,
+            "locations": self.locations,
+            "traces": self.traces,
+            "invariants": self.invariants,
+            "spurious": self.spurious,
+            "classification": self.classification,
+            "seconds": round(self.seconds, 4),
+            "singleton_atoms": self.singleton_atoms,
+            "inductive_atoms": self.inductive_atoms,
+            "pure_atoms": self.pure_atoms,
+            "checker_cache_hits": self.checker_cache_hits,
+            "checker_cache_misses": self.checker_cache_misses,
+            "unfold_cache_hits": self.unfold_cache_hits,
+            "unfold_cache_misses": self.unfold_cache_misses,
+        }
+        if include_invariants and self.specification is not None:
+            data["inferred"] = [
+                {"location": inv.location, "formula": inv.pretty(), "spurious": inv.spurious}
+                for inv in self.specification.all_invariants()
+            ]
+        return data
 
 
 @dataclass
@@ -124,12 +162,44 @@ class Table1Result:
             "seconds": sum(row.seconds for row in self.rows),
         }
 
+    def cache_totals(self) -> CacheStats:
+        """Aggregated memoization counters across every evaluated program."""
+        totals = CacheStats()
+        for row in self.rows:
+            for program in row.programs:
+                totals.merge(
+                    CacheStats(
+                        checker_hits=program.checker_cache_hits,
+                        checker_misses=program.checker_cache_misses,
+                        unfold_hits=program.unfold_cache_hits,
+                        unfold_misses=program.unfold_cache_misses,
+                    )
+                )
+        return totals
+
+    def as_dict(self, include_invariants: bool = False) -> dict:
+        """JSON-serializable view of the whole table."""
+        return {
+            "rows": [
+                {
+                    "category": row.category,
+                    "programs": [
+                        program.as_dict(include_invariants) for program in row.programs
+                    ],
+                }
+                for row in self.rows
+            ],
+            "totals": self.totals(),
+            "cache": self.cache_totals().as_dict(),
+        }
+
 
 def evaluate_program(
     benchmark: BenchmarkProgram, config: SlingConfig | None = None, seed: int = 0
 ) -> ProgramResult:
     """Run SLING on one benchmark and compute its Table 1 measurements."""
     config = config or SlingConfig(discard_crashed_runs=True)
+    unfold_before = benchmark.predicates.unfold_stats()
     sling = Sling(benchmark.program, benchmark.predicates, config)
     test_cases = benchmark.test_cases(seed=seed)
     function = benchmark.program.get_function(benchmark.function)
@@ -152,6 +222,7 @@ def evaluate_program(
     else:
         classification = "A"
 
+    cache = collect_cache_stats(sling, unfold_before)
     return ProgramResult(
         name=benchmark.name,
         loc=benchmark.loc(),
@@ -165,6 +236,10 @@ def evaluate_program(
         inductive_atoms=sum(invariant.predicate_count() for invariant in invariants),
         pure_atoms=sum(invariant.pure_count() for invariant in invariants),
         specification=specification,
+        checker_cache_hits=cache.checker_hits,
+        checker_cache_misses=cache.checker_misses,
+        unfold_cache_hits=cache.unfold_hits,
+        unfold_cache_misses=cache.unfold_misses,
     )
 
 
@@ -173,18 +248,33 @@ def run_table1(
     config: SlingConfig | None = None,
     seed: int = 0,
     max_programs_per_category: int | None = None,
+    jobs: int = 1,
+    job_timeout: float | None = None,
 ) -> Table1Result:
-    """Evaluate the benchmark suite and build Table 1."""
+    """Evaluate the benchmark suite and build Table 1.
+
+    ``jobs`` sets the engine's worker-pool size (1 = inline, the reference
+    behaviour); the rows are identical either way.  A benchmark that fails
+    or exceeds ``job_timeout`` raises :class:`~repro.core.engine.EngineError`
+    naming the benchmark.
+    """
     rows: list[CategoryRow] = []
-    for category, benchmarks in benchmarks_by_category().items():
-        if categories is not None and category not in categories:
-            continue
-        if max_programs_per_category is not None:
-            benchmarks = benchmarks[:max_programs_per_category]
-        row = CategoryRow(category=category)
-        for benchmark in benchmarks:
-            row.programs.append(evaluate_program(benchmark, config=config, seed=seed))
-        rows.append(row)
+    by_category: dict[str, CategoryRow] = {}
+    for category, _, payload in run_category_batch(
+        "table1",
+        categories=categories,
+        max_programs_per_category=max_programs_per_category,
+        seed=seed,
+        config=config,
+        jobs=jobs,
+        job_timeout=job_timeout,
+    ):
+        row = by_category.get(category)
+        if row is None:
+            row = CategoryRow(category=category)
+            by_category[category] = row
+            rows.append(row)
+        row.programs.append(payload)
     return Table1Result(rows=rows)
 
 
@@ -213,21 +303,48 @@ def format_table1(result: Table1Result) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Command-line entry point."""
-    parser = argparse.ArgumentParser(description="Regenerate Table 1 of the SLING paper.")
+def add_table1_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the Table 1 flags (shared with ``python -m repro table1``)."""
     parser.add_argument("--category", action="append", help="restrict to a category (repeatable)")
     parser.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
     parser.add_argument(
-        "--max-programs", type=int, default=None, help="cap programs per category (smoke runs)"
+        "--max-programs",
+        "--limit",
+        dest="max_programs",
+        type=int,
+        default=None,
+        help="cap programs per category (smoke runs)",
     )
-    arguments = parser.parse_args()
+    parser.add_argument("--jobs", type=int, default=1, help="engine worker processes")
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-benchmark timeout in seconds"
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of the table")
+    parser.add_argument(
+        "--invariants", action="store_true", help="include inferred formulas in --json output"
+    )
+
+
+def table1_command(arguments: argparse.Namespace) -> None:
+    """Run Table 1 from parsed CLI arguments and print it."""
     result = run_table1(
         categories=arguments.category,
         seed=arguments.seed,
         max_programs_per_category=arguments.max_programs,
+        jobs=arguments.jobs,
+        job_timeout=arguments.timeout,
     )
-    print(format_table1(result))
+    if arguments.json:
+        print(json.dumps(result.as_dict(include_invariants=arguments.invariants), indent=2))
+    else:
+        print(format_table1(result))
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Regenerate Table 1 of the SLING paper.")
+    add_table1_arguments(parser)
+    table1_command(parser.parse_args())
 
 
 if __name__ == "__main__":

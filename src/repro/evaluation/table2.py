@@ -9,18 +9,42 @@ loop invariants) are checked against
 and each property is placed in one of the four buckets of the paper's
 Table 2: found by Both, only by S2, only by SLING, or by Neither.
 
-Run it from the command line with ``python -m repro.evaluation.table2``.
+Per-benchmark comparisons are dispatched through the batch-inference engine
+(:mod:`repro.core.engine`), so the sweep parallelizes with ``jobs=N``.
+
+Run it from the command line with ``python -m repro.evaluation.table2``
+(or ``python -m repro table2``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.baselines.s2 import S2Analyzer
-from repro.benchsuite.registry import benchmarks_by_category
+from repro.benchsuite.registry import BenchmarkProgram
+from repro.core.engine import CacheStats, collect_cache_stats, run_category_batch
 from repro.core.sling import Sling, SlingConfig
+
+
+@dataclass(frozen=True)
+class PropertyOutcome:
+    """One documented property and which analyses recovered it."""
+
+    kind: str  # "spec" or "loop"
+    description: str
+    sling_found: bool
+    s2_found: bool
+
+
+@dataclass
+class BenchmarkComparison:
+    """Per-benchmark payload of a ``"table2"`` engine job."""
+
+    name: str
+    category: str
+    outcomes: list[PropertyOutcome] = field(default_factory=list)
 
 
 @dataclass
@@ -45,6 +69,16 @@ class Table2Row:
         else:
             self.neither += 1
 
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "category": self.category,
+            "total": self.total,
+            "both": self.both,
+            "s2_only": self.s2_only,
+            "sling_only": self.sling_only,
+            "neither": self.neither,
+        }
+
 
 @dataclass
 class Table2Result:
@@ -62,34 +96,71 @@ class Table2Result:
             total.neither += row.neither
         return total
 
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rows": [row.as_dict() for row in self.rows],
+            "summary": self.summary().as_dict(),
+        }
+
+
+def compare_benchmark(
+    benchmark: BenchmarkProgram,
+    config: SlingConfig | None = None,
+    seed: int = 0,
+) -> tuple[BenchmarkComparison, CacheStats]:
+    """Evaluate one benchmark's documented properties with SLING and S2."""
+    from repro.baselines.s2 import S2Analyzer
+
+    config = config or SlingConfig(discard_crashed_runs=True)
+    comparison = BenchmarkComparison(name=benchmark.name, category=benchmark.category)
+    if not benchmark.documented:
+        return comparison, CacheStats()
+
+    unfold_before = benchmark.predicates.unfold_stats()
+    sling = Sling(benchmark.program, benchmark.predicates, config)
+    specification = sling.infer_function(benchmark.function, benchmark.test_cases(seed))
+    s2_result = S2Analyzer().analyze(benchmark)
+    s2_found = set(id(prop) for prop in s2_result.found_properties)
+    for documented in benchmark.documented:
+        comparison.outcomes.append(
+            PropertyOutcome(
+                kind=documented.kind,
+                description=documented.description,
+                sling_found=documented.check(specification),
+                s2_found=id(documented) in s2_found,
+            )
+        )
+    return comparison, collect_cache_stats(sling, unfold_before)
+
 
 def run_table2(
     categories: Sequence[str] | None = None,
     config: SlingConfig | None = None,
     seed: int = 0,
     max_programs_per_category: int | None = None,
+    jobs: int = 1,
+    job_timeout: float | None = None,
 ) -> Table2Result:
     """Compare SLING and the S2 baseline over the documented properties."""
-    config = config or SlingConfig(discard_crashed_runs=True)
-    analyzer = S2Analyzer()
     result = Table2Result()
-    for category, benchmarks in benchmarks_by_category().items():
-        if categories is not None and category not in categories:
-            continue
-        if max_programs_per_category is not None:
-            benchmarks = benchmarks[:max_programs_per_category]
-        row = Table2Row(category=category)
-        for benchmark in benchmarks:
-            if not benchmark.documented:
-                continue
-            sling = Sling(benchmark.program, benchmark.predicates, config)
-            specification = sling.infer_function(benchmark.function, benchmark.test_cases(seed))
-            s2_result = analyzer.analyze(benchmark)
-            s2_found = set(id(prop) for prop in s2_result.found_properties)
-            for documented in benchmark.documented:
-                sling_found = documented.check(specification)
-                row.add(sling_found, id(documented) in s2_found)
-        result.rows.append(row)
+    by_category: dict[str, Table2Row] = {}
+    for category, _, payload in run_category_batch(
+        "table2",
+        categories=categories,
+        max_programs_per_category=max_programs_per_category,
+        keep=lambda benchmark: bool(benchmark.documented),
+        seed=seed,
+        config=config,
+        jobs=jobs,
+        job_timeout=job_timeout,
+    ):
+        row = by_category.get(category)
+        if row is None:
+            row = Table2Row(category=category)
+            by_category[category] = row
+            result.rows.append(row)
+        for outcome in payload.outcomes:
+            row.add(outcome.sling_found, outcome.s2_found)
     return result
 
 
@@ -111,21 +182,45 @@ def format_table2(result: Table2Result) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    """Command-line entry point."""
-    parser = argparse.ArgumentParser(description="Regenerate Table 2 of the SLING paper.")
+def add_table2_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the Table 2 flags (shared with ``python -m repro table2``)."""
     parser.add_argument("--category", action="append", help="restrict to a category (repeatable)")
     parser.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
     parser.add_argument(
-        "--max-programs", type=int, default=None, help="cap programs per category (smoke runs)"
+        "--max-programs",
+        "--limit",
+        dest="max_programs",
+        type=int,
+        default=None,
+        help="cap programs per category (smoke runs)",
     )
-    arguments = parser.parse_args()
+    parser.add_argument("--jobs", type=int, default=1, help="engine worker processes")
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-benchmark timeout in seconds"
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of the table")
+
+
+def table2_command(arguments: argparse.Namespace) -> None:
+    """Run Table 2 from parsed CLI arguments and print it."""
     result = run_table2(
         categories=arguments.category,
         seed=arguments.seed,
         max_programs_per_category=arguments.max_programs,
+        jobs=arguments.jobs,
+        job_timeout=arguments.timeout,
     )
-    print(format_table2(result))
+    if arguments.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(format_table2(result))
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Regenerate Table 2 of the SLING paper.")
+    add_table2_arguments(parser)
+    table2_command(parser.parse_args())
 
 
 if __name__ == "__main__":

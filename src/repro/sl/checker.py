@@ -21,6 +21,7 @@ coverage), which matches the behaviour SLING relies on in its examples
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -82,6 +83,12 @@ class ModelChecker:
         Number of complete reductions to enumerate before settling on the
         best one found; keeps the search cheap on heavily ambiguous
         formulas.
+    cache_size:
+        Capacity of the built-in memo table.  Every ``check`` call is keyed
+        on ``(canonical formula, model)`` -- the formula is alpha-renamed so
+        candidates that differ only in the machine-generated names of their
+        existentials share one entry -- and both successful and failed
+        reductions are cached.  ``0`` disables memoization.
     """
 
     def __init__(
@@ -89,14 +96,90 @@ class ModelChecker:
         registry: PredicateRegistry,
         max_steps: int = 50_000,
         max_solutions: int = 64,
+        cache_size: int = 65_536,
     ):
         self.registry = registry
         self.max_steps = max_steps
         self.max_solutions = max_solutions
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, tuple | None] | None = (
+            OrderedDict() if cache_size > 0 else None
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------ API --
 
     def check(self, model: StackHeapModel, formula: SymHeap) -> CheckResult | None:
+        """Memoizing wrapper around the reduction of Definition 2.
+
+        Results are looked up by the alpha-normalized formula and the model;
+        on a hit the cached instantiation is rebound to the formula's actual
+        existential names (cached entries are name-independent otherwise:
+        residual and consumed sets only mention heap addresses).
+        """
+        if self._cache is None:
+            return self._check_uncached(model, formula)
+        # The shadow mask records which existentials collide with a stack
+        # variable of this model: the search resolves such names against the
+        # stack (a scoping quirk kept for compatibility), so alpha-variants
+        # with different collisions are NOT equivalent and must not share an
+        # entry.
+        shadow = tuple(
+            position
+            for position, name in enumerate(formula.exists)
+            if model.has_var(name)
+        )
+        key = (canonical_formula_key(formula), shadow, model)
+        entry = self._cache.get(key, _CACHE_ABSENT)
+        if entry is not _CACHE_ABSENT:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            if entry is None:
+                return None
+            residual, consumed, instantiation_items = entry
+            return CheckResult(
+                residual=residual,
+                instantiation={
+                    formula.exists[position]: value
+                    for position, value in instantiation_items
+                },
+                consumed=consumed,
+            )
+        self.cache_misses += 1
+        result = self._check_uncached(model, formula)
+        if result is None:
+            self._cache[key] = None
+        else:
+            self._cache[key] = (
+                result.residual,
+                result.consumed,
+                tuple(
+                    (formula.exists.index(name), value)
+                    for name, value in result.instantiation.items()
+                ),
+            )
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return result
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and current size of the memo table."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache) if self._cache is not None else 0,
+            "capacity": self.cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoized reductions and reset the counters."""
+        if self._cache is not None:
+            self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _check_uncached(self, model: StackHeapModel, formula: SymHeap) -> CheckResult | None:
         """Run the reduction of Definition 2; ``None`` when no reduction exists."""
         stack_env = dict(model.stack)
         unknowns = set(formula.exists)
@@ -285,8 +368,8 @@ class ModelChecker:
         # size): every well-formed recursive case consumes at least one cell
         # before recursing, so deeper unfoldings cannot succeed and are pruned
         # in ``_solve``.
-        for case in definition.cases:
-            body = case.instantiate(definition.params, goal.args)
+        for case_index in range(len(definition.cases)):
+            body = definition.instantiate_case(case_index, goal.args)
             case_unknowns = unknowns | set(body.exists)
             case_goals = (
                 list(body.spatial_atoms())
@@ -419,6 +502,36 @@ class ModelChecker:
 # Sentinels used by ``_step_pure``.
 _FAIL = object()
 _DEFER = object()
+
+# Sentinel distinguishing "cached None" from "not cached" in the memo table.
+_CACHE_ABSENT = object()
+
+
+def canonical_formula_key(formula: SymHeap) -> str:
+    """Render a formula with its existentials alpha-renamed positionally.
+
+    Candidate formulae are generated with globally fresh existential names
+    (``u17``, ``u18``, ...), so the same logical candidate re-checked later
+    in the search never reuses a name.  Renaming the bound variables to
+    ``?e0, ?e1, ...`` (by position -- ``?`` cannot appear in parsed names)
+    makes alpha-equivalent candidates collide in the memo table, and the
+    positional scheme lets cached instantiations be rebound to the actual
+    names of the formula being checked.
+    """
+    from repro.sl.pretty import pretty
+
+    if not formula.exists:
+        return pretty(formula)
+    renaming: dict[str, Expr] = {
+        name: Var(f"?e{position}") for position, name in enumerate(formula.exists)
+    }
+    return pretty(
+        SymHeap(
+            tuple(f"?e{position}" for position in range(len(formula.exists))),
+            formula.spatial.substitute(renaming),
+            formula.pure.substitute(renaming),
+        )
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -60,10 +60,11 @@ class HeapCell:
 class Heap:
     """An immutable finite partial map from addresses to :class:`HeapCell`."""
 
-    __slots__ = ("_cells",)
+    __slots__ = ("_cells", "_hash")
 
     def __init__(self, cells: Mapping[int, HeapCell] | None = None):
         self._cells: dict[int, HeapCell] = dict(cells) if cells else {}
+        self._hash: int | None = None
 
     # -- mapping interface ----------------------------------------------------
 
@@ -88,7 +89,11 @@ class Heap:
         return self._cells == other._cells
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._cells.items()))
+        # Heaps are hashed on every memoized checker lookup; the underlying
+        # frozenset is only materialized once.
+        if self._hash is None:
+            self._hash = hash(frozenset(self._cells.items()))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Heap({self._cells!r})"
@@ -192,6 +197,14 @@ class StackHeapModel:
         )
         object.__setattr__(self, "var_types", type_items)
         object.__setattr__(self, "freed_addresses", frozenset(freed_addresses))
+
+    def __hash__(self) -> int:
+        # Models key the checker's memo table; cache the (immutable) hash.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.stack, self.heap, self.var_types, self.freed_addresses))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # -- stack access -----------------------------------------------------------
 

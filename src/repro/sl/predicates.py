@@ -18,8 +18,12 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.sl.errors import SLError, UnknownPredicateError
-from repro.sl.exprs import Expr, Var
-from repro.sl.spatial import PointsTo, PredApp, Spatial, SymHeap
+from repro.sl.exprs import Expr, IntConst, Nil, Var
+from repro.sl.spatial import PointsTo, PredApp, Spatial, SymHeap, fresh_var
+
+#: Upper bound on memoized case templates per predicate (the key space is
+#: tiny in practice: one entry per case and argument *shape*).
+_UNFOLD_CACHE_LIMIT = 512
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,11 @@ class InductivePredicate:
                 f"predicate {name!r}: {len(self.params)} parameters but {len(types)} types"
             )
         object.__setattr__(self, "param_types", types)
+        # Unfolding memo: (case index, canonical argument shape) -> template
+        # body.  Lists (not dataclass fields) so the instance stays frozen,
+        # hashable and comparable on its definition alone.
+        object.__setattr__(self, "_unfold_cache", {})
+        object.__setattr__(self, "_unfold_stats", [0, 0])  # [hits, misses]
 
     @property
     def arity(self) -> int:
@@ -78,7 +87,56 @@ class InductivePredicate:
 
     def unfold(self, args: Sequence[Expr]) -> list[SymHeap]:
         """Return the case bodies instantiated with ``args`` (one per disjunct)."""
-        return [case.instantiate(self.params, args) for case in self.cases]
+        return [self.instantiate_case(index, args) for index in range(len(self.cases))]
+
+    def instantiate_case(self, index: int, args: Sequence[Expr]) -> SymHeap:
+        """Instantiate one case, memoizing the instantiation per argument shape.
+
+        The model checker unfolds the same predicates with the same argument
+        *shapes* (e.g. ``sll(?)`` with a single variable argument) thousands
+        of times per inference run; only the variable names differ because
+        they are generated fresh.  This caches the case body instantiated
+        with positional placeholder arguments and specializes it per call --
+        mapping placeholders to the actual argument expressions and alpha-
+        renaming the case-local existentials to globally fresh names -- in a
+        single substitution pass instead of the two passes (freshen, then
+        substitute) of :meth:`PredCase.instantiate`.
+
+        The per-call freshening is what keeps reuse sound: two unfoldings of
+        the same case inside one search never share existential names, so a
+        binding made for one can never constrain the other.
+        """
+        key = _canonical_args(args)
+        if key is None:
+            self._unfold_stats[1] += 1
+            return self.cases[index].instantiate(self.params, args)
+        template = self._unfold_cache.get((index, key))
+        if template is None:
+            self._unfold_stats[1] += 1
+            placeholders = [_placeholder_expr(token) for token in key]
+            template = self.cases[index].instantiate(self.params, placeholders)
+            if len(self._unfold_cache) < _UNFOLD_CACHE_LIMIT:
+                self._unfold_cache[(index, key)] = template
+        else:
+            self._unfold_stats[0] += 1
+        substitution: dict[str, Expr] = {
+            token: arg for token, arg in zip(key, args) if token.startswith("?a")
+        }
+        renaming = {name: Var(fresh_var()) for name in template.exists}
+        substitution.update(renaming)
+        return SymHeap(
+            tuple(renaming[name].name for name in template.exists),
+            template.spatial.substitute(substitution),
+            template.pure.substitute(substitution),
+        )
+
+    def unfold_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters of this predicate's unfolding memo."""
+        return {
+            "hits": self._unfold_stats[0],
+            "misses": self._unfold_stats[1],
+            "entries": len(self._unfold_cache),
+        }
 
     def root_types(self) -> frozenset[str]:
         """Structure types that may anchor this predicate.
@@ -166,7 +224,13 @@ class PredicateRegistry:
                 for atom in case.body.spatial_atoms():
                     if isinstance(atom, PredApp) and atom.name not in closure:
                         frontier.append(atom.name)
-        return PredicateRegistry(self._predicates[name] for name in closure)
+        # Preserve definition order: iterating the ``closure`` set directly
+        # would make the subset's candidate-enumeration order (and with it
+        # tie-breaking among equally-ranked invariants) depend on
+        # PYTHONHASHSEED from process to process.
+        return PredicateRegistry(
+            predicate for name, predicate in self._predicates.items() if name in closure
+        )
 
     def candidates_for_type(self, type_name: str | None) -> list[InductivePredicate]:
         """Predicates whose definition dereferences the given structure type.
@@ -192,6 +256,47 @@ class PredicateRegistry:
         for predicate in other:
             merged.add(predicate)
         return merged
+
+    def unfold_stats(self) -> dict[str, int]:
+        """Aggregated unfolding-cache counters across all predicates."""
+        hits = sum(predicate._unfold_stats[0] for predicate in self)
+        misses = sum(predicate._unfold_stats[1] for predicate in self)
+        return {"hits": hits, "misses": misses}
+
+
+def _canonical_args(args: Sequence[Expr]) -> tuple[str, ...] | None:
+    """Shape key of an argument tuple: variables numbered by first occurrence.
+
+    ``(Var("u17"), Var("u17"), Nil())`` and ``(Var("n3"), Var("n3"), Nil())``
+    both map to ``("?a0", "?a0", "nil")`` -- the same template applies to
+    both.  Compound argument expressions are rare in unfoldings; they return
+    ``None`` so the caller falls back to the uncached path.
+    """
+    tokens: list[str] = []
+    numbering: dict[str, str] = {}
+    for arg in args:
+        if isinstance(arg, Var):
+            token = numbering.get(arg.name)
+            if token is None:
+                token = f"?a{len(numbering)}"
+                numbering[arg.name] = token
+            tokens.append(token)
+        elif isinstance(arg, Nil):
+            tokens.append("nil")
+        elif isinstance(arg, IntConst):
+            tokens.append(f"int:{arg.value}")
+        else:
+            return None
+    return tuple(tokens)
+
+
+def _placeholder_expr(token: str) -> Expr:
+    """The placeholder expression standing for one canonical-argument token."""
+    if token.startswith("?a"):
+        return Var(token)
+    if token == "nil":
+        return Nil()
+    return IntConst(int(token.removeprefix("int:")))
 
 
 def predicate_complexity(predicate: InductivePredicate) -> Mapping[str, int]:

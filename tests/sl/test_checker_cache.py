@@ -1,0 +1,186 @@
+"""Correctness of the checker memo table and the predicate unfolding cache.
+
+The contract under test: enabling either cache never changes any result --
+cached and uncached checkers agree on satisfiability, residual heaps,
+consumed cells and instantiations for every (formula, model) pair, including
+alpha-variants of the same formula.
+"""
+
+import pytest
+
+from repro.sl.checker import ModelChecker, canonical_formula_key
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.parser import parse_formula
+from repro.sl.stdpreds import standard_predicates
+
+from tests.conftest import dll_model, sll_model
+
+#: (formula, model) pairs covering points-to, inductive predicates with and
+#: without existentials, unsatisfiable goals and partial-coverage residues.
+_CASES = [
+    ("emp & x = nil", StackHeapModel({"x": 0}, Heap())),
+    ("sll(x)", sll_model(3)),
+    ("sll(x)", sll_model(0)),
+    ("exists n. x -> SllNode{next: n}", sll_model(2)),
+    ("exists y. lseg(x, y)", sll_model(3)),
+    ("exists y. lseg(x, y) * sll(y)", sll_model(3)),
+    ("x -> SllNode{next: nil}", sll_model(2)),  # unsatisfiable
+    ("exists p, t, n. dll(x, p, t, n)", dll_model(3)),
+    ("exists p, t. dll(x, p, t, nil)", dll_model(2)),
+    ("sll(x)", dll_model(2)),  # wrong structure type
+]
+
+
+def _result_tuple(result):
+    if result is None:
+        return None
+    return (result.residual.domain(), dict(result.instantiation), result.consumed)
+
+
+class TestCheckerCacheCorrectness:
+    def test_cached_matches_uncached_everywhere(self):
+        registry = standard_predicates()
+        cached = ModelChecker(registry, cache_size=4096)
+        uncached = ModelChecker(registry, cache_size=0)
+        # Two passes so the second pass hits the warm cache.
+        for _ in range(2):
+            for text, model in _CASES:
+                formula = parse_formula(text)
+                assert _result_tuple(cached.check(model, formula)) == _result_tuple(
+                    uncached.check(model, formula)
+                ), f"cache changed the result of {text!r}"
+        assert cached.cache_hits > 0
+        assert uncached.cache_hits == 0
+
+    def test_alpha_variants_share_an_entry_and_rebind_names(self):
+        checker = ModelChecker(standard_predicates(), cache_size=128)
+        model = sll_model(2)
+        first = checker.check(model, parse_formula("exists n. x -> SllNode{next: n}"))
+        misses = checker.cache_misses
+        second = checker.check(model, parse_formula("exists m. x -> SllNode{next: m}"))
+        assert checker.cache_misses == misses  # alpha-variant was a hit
+        assert first.instantiation == {"n": 2}
+        assert second.instantiation == {"m": 2}  # rebound to the query's name
+        assert first.residual.domain() == second.residual.domain()
+
+    def test_negative_results_are_cached(self):
+        checker = ModelChecker(standard_predicates(), cache_size=128)
+        model = sll_model(2)
+        formula = parse_formula("x -> SllNode{next: nil}")
+        assert checker.check(model, formula) is None
+        hits = checker.cache_hits
+        assert checker.check(model, formula) is None
+        assert checker.cache_hits == hits + 1
+
+    def test_shadowed_existential_does_not_poison_alpha_variant(self):
+        # ``n`` is both a stack variable and an existential: the search
+        # resolves it against the stack (scoping quirk), so the formula is
+        # NOT equivalent to its alpha-variant with a fresh name.  The memo
+        # key must keep the two apart regardless of which is checked first.
+        registry = standard_predicates()
+        model = StackHeapModel(
+            {"x": 1, "n": 2},
+            Heap(
+                {
+                    1: HeapCell("SllNode", {"next": 5}),
+                    5: HeapCell("SllNode", {"next": 0}),
+                }
+            ),
+            {"x": "SllNode*", "n": "SllNode*"},
+        )
+        shadowed = parse_formula("exists n. x -> SllNode{next: n}")
+        fresh = parse_formula("exists m. x -> SllNode{next: m}")
+        uncached = ModelChecker(registry, cache_size=0)
+        for order in ((shadowed, fresh), (fresh, shadowed)):
+            cached = ModelChecker(registry, cache_size=128)
+            for formula in order:
+                assert _result_tuple(cached.check(model, formula)) == _result_tuple(
+                    uncached.check(model, formula)
+                ), "shadow-sensitive formulas must not share a cache entry"
+
+    def test_distinct_models_do_not_collide(self):
+        checker = ModelChecker(standard_predicates(), cache_size=128)
+        formula = parse_formula("sll(x)")
+        good = checker.check(sll_model(2), formula)
+        bad = checker.check(dll_model(2), formula)
+        assert good is not None and good.covers_everything()
+        assert bad is None
+
+    def test_lru_eviction_respects_capacity(self):
+        checker = ModelChecker(standard_predicates(), cache_size=2)
+        for size in range(1, 6):
+            checker.check(sll_model(size), parse_formula("sll(x)"))
+        assert checker.cache_info()["entries"] <= 2
+
+    def test_clear_cache_resets_counters(self):
+        checker = ModelChecker(standard_predicates(), cache_size=128)
+        model = sll_model(1)
+        formula = parse_formula("sll(x)")
+        checker.check(model, formula)
+        checker.check(model, formula)
+        assert checker.cache_hits == 1
+        checker.clear_cache()
+        assert checker.cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "capacity": 128,
+        }
+
+
+class TestCanonicalFormulaKey:
+    def test_alpha_variants_collide(self):
+        first = parse_formula("exists n. x -> SllNode{next: n} * sll(n)")
+        second = parse_formula("exists q. x -> SllNode{next: q} * sll(q)")
+        assert canonical_formula_key(first) == canonical_formula_key(second)
+
+    def test_argument_order_distinguishes(self):
+        first = parse_formula("exists a, b. lseg(a, b)")
+        second = parse_formula("exists a, b. lseg(b, a)")
+        assert canonical_formula_key(first) != canonical_formula_key(second)
+
+    def test_free_variables_are_preserved(self):
+        first = parse_formula("sll(x)")
+        second = parse_formula("sll(y)")
+        assert canonical_formula_key(first) != canonical_formula_key(second)
+
+
+class TestUnfoldCache:
+    def test_instantiate_case_is_alpha_equivalent_to_plain_instantiate(self):
+        registry = standard_predicates()
+        dll = registry.get("dll")
+        from repro.sl.exprs import Nil, Var
+
+        args = [Var("hd"), Var("pr"), Var("tl"), Nil()]
+        for index in range(len(dll.cases)):
+            plain = dll.cases[index].instantiate(dll.params, args)
+            for _ in range(3):  # first call fills, later calls hit
+                cached = dll.instantiate_case(index, args)
+                assert canonical_formula_key(cached) == canonical_formula_key(plain)
+        info = dll.unfold_cache_info()
+        assert info["hits"] >= 4
+        assert info["entries"] >= 2
+
+    def test_two_unfoldings_never_share_existentials(self):
+        registry = standard_predicates()
+        sll = registry.get("sll")
+        from repro.sl.exprs import Var
+
+        first = sll.instantiate_case(1, [Var("x")])
+        second = sll.instantiate_case(1, [Var("x")])
+        assert set(first.exists).isdisjoint(second.exists)
+
+    def test_registry_aggregates_stats(self):
+        registry = standard_predicates()
+        from repro.sl.exprs import Var
+
+        registry.get("sll").instantiate_case(0, [Var("x")])
+        stats = registry.unfold_stats()
+        assert stats["misses"] >= 1
+
+    def test_checker_results_unchanged_with_unfold_cache_warm(self, checker):
+        # The session-scoped checker shares a registry whose unfold caches
+        # warm over the whole test session; results must stay exact.
+        model = sll_model(4)
+        result = checker.check(model, parse_formula("sll(x)"))
+        assert result is not None and result.covers_everything()
