@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test smoke bench docs table1 table2
+.PHONY: check test smoke bench bench-smoke docs table1 table2
 
 # Tier-1 gate: the full test suite plus a CLI smoke test, one command.
 check: test smoke
@@ -18,6 +18,18 @@ smoke:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --jobs 4 --limit 2
+
+# Quick performance gate: the deterministic search-space guard (exact
+# candidate counts, no timing flakiness) plus a two-programs-per-category
+# engine bench as an end-to-end smoke.  Timing comparisons against the
+# committed trajectory need the full sweep: run
+#   benchmarks/bench_engine.py --compare benchmarks/BENCH_engine.json
+# (a --limit run is not comparable to the full-sweep baseline).
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/core/test_search_guard.py -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --jobs 2 --limit 2 \
+		--quiet --out /tmp/bench_smoke.json
+	@echo "bench smoke OK (report: /tmp/bench_smoke.json)"
 
 docs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro docs

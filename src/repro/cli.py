@@ -77,6 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=4, help="parallel sweep worker count")
     bench.add_argument("--seed", type=int, default=0, help="random seed for test inputs")
     bench.add_argument("--out", default=None, help="write the JSON report to this file")
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BENCH_prev.json",
+        help=(
+            "load a previous bench report and fail (exit 1) when the "
+            "sequential wall time regressed by more than 20%%"
+        ),
+    )
     bench.add_argument("--quiet", action="store_true", help="suppress progress messages")
     bench.set_defaults(handler=_cmd_bench)
 
@@ -175,8 +184,20 @@ def _spec_report_dict(report) -> dict:
     return data
 
 
+#: Relative wall-time increase over the previous report that fails a
+#: ``bench --compare`` run.
+BENCH_REGRESSION_THRESHOLD = 0.20
+
+
 def _cmd_bench(arguments: argparse.Namespace) -> None:
     progress = None if arguments.quiet else lambda message: print(f"# {message}", file=sys.stderr)
+    # Read the baseline up front: --out may legitimately point at the same
+    # file (the accumulating BENCH_engine.json trajectory), and comparing
+    # after the write would pit the new report against itself.
+    previous = None
+    if arguments.compare:
+        with open(arguments.compare, encoding="utf-8") as handle:
+            previous = json.load(handle)
     report = benchmark_engine(
         categories=arguments.category,
         limit=arguments.limit,
@@ -185,12 +206,45 @@ def _cmd_bench(arguments: argparse.Namespace) -> None:
         progress=progress,
     )
     text = json.dumps(report, indent=2)
-    if arguments.out:
+    # The regression gate runs BEFORE the report is written: when --out and
+    # --compare point at the same trajectory file, a failing run must not
+    # replace the very baseline it failed against.
+    failure = None
+    if previous is not None:
+        failure = _compare_bench_reports(previous, report)
+    if arguments.out and failure is None:
         with open(arguments.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"wrote {arguments.out}", file=sys.stderr)
     else:
         print(text)
+    if failure is not None:
+        raise SystemExit(failure)
+
+
+def _compare_bench_reports(previous: dict, report: dict) -> str | None:
+    """Check the sequential wall time against the threshold.
+
+    The sequential sweep is the comparison metric: it is the engine's
+    reference execution mode and is unaffected by worker-count or
+    fork-overhead differences between machines.  Returns the failure
+    message on a regression beyond the threshold, ``None`` otherwise.
+    """
+    previous_seconds = previous["wall_seconds"]["sequential"]
+    current_seconds = report["wall_seconds"]["sequential"]
+    ratio = current_seconds / previous_seconds if previous_seconds else float("inf")
+    print(
+        f"# sequential wall time: {previous_seconds:.3f}s -> {current_seconds:.3f}s "
+        f"({ratio:.2f}x of previous)",
+        file=sys.stderr,
+    )
+    if current_seconds > previous_seconds * (1.0 + BENCH_REGRESSION_THRESHOLD):
+        return (
+            f"bench: sequential wall time regressed by more than "
+            f"{BENCH_REGRESSION_THRESHOLD:.0%} "
+            f"({previous_seconds:.3f}s -> {current_seconds:.3f}s)"
+        )
+    return None
 
 
 def _cmd_docs(arguments: argparse.Namespace) -> None:

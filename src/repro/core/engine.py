@@ -76,12 +76,26 @@ class EngineJob:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of the two memoization layers, for one job."""
+    """Memoization and candidate-screening counters, for one job.
+
+    The screening counters (``candidates_*``, ``refuted_by_first_model``)
+    measure the fail-fast pipeline of Algorithm 2: candidates enumerated,
+    candidates rejected by the semantic pre-filter without any checker call,
+    candidates actually checked, and ``check_all`` calls settled by the
+    first model tried.  They extend -- never replace -- the original cache
+    schema, so existing consumers keep working.
+    """
 
     checker_hits: int = 0
     checker_misses: int = 0
     unfold_hits: int = 0
     unfold_misses: int = 0
+    candidates_generated: int = 0
+    candidates_prefiltered: int = 0
+    candidates_checked: int = 0
+    refuted_by_first_model: int = 0
+    pruned_cases: int = 0
+    max_trail_depth: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another job's counters into this one."""
@@ -89,6 +103,14 @@ class CacheStats:
         self.checker_misses += other.checker_misses
         self.unfold_hits += other.unfold_hits
         self.unfold_misses += other.unfold_misses
+        self.candidates_generated += other.candidates_generated
+        self.candidates_prefiltered += other.candidates_prefiltered
+        self.candidates_checked += other.candidates_checked
+        self.refuted_by_first_model += other.refuted_by_first_model
+        self.pruned_cases += other.pruned_cases
+        # A depth, not a volume: the batch-wide value is the deepest job.
+        if other.max_trail_depth > self.max_trail_depth:
+            self.max_trail_depth = other.max_trail_depth
 
     @property
     def checker_hit_rate(self) -> float:
@@ -100,6 +122,12 @@ class CacheStats:
         total = self.unfold_hits + self.unfold_misses
         return self.unfold_hits / total if total else 0.0
 
+    @property
+    def prefilter_rate(self) -> float:
+        """Fraction of generated candidates rejected before any check."""
+        total = self.candidates_generated
+        return self.candidates_prefiltered / total if total else 0.0
+
     def as_dict(self) -> dict[str, float]:
         return {
             "checker_hits": self.checker_hits,
@@ -108,6 +136,13 @@ class CacheStats:
             "unfold_hits": self.unfold_hits,
             "unfold_misses": self.unfold_misses,
             "unfold_hit_rate": round(self.unfold_hit_rate, 4),
+            "candidates_generated": self.candidates_generated,
+            "candidates_prefiltered": self.candidates_prefiltered,
+            "candidates_checked": self.candidates_checked,
+            "prefilter_rate": round(self.prefilter_rate, 4),
+            "refuted_by_first_model": self.refuted_by_first_model,
+            "pruned_cases": self.pruned_cases,
+            "max_trail_depth": self.max_trail_depth,
         }
 
 
@@ -233,6 +268,12 @@ def _dispatch(job: EngineJob) -> tuple[object, CacheStats]:
             checker_misses=result.checker_cache_misses,
             unfold_hits=result.unfold_cache_hits,
             unfold_misses=result.unfold_cache_misses,
+            candidates_generated=result.candidates_generated,
+            candidates_prefiltered=result.candidates_prefiltered,
+            candidates_checked=result.candidates_checked,
+            refuted_by_first_model=result.refuted_by_first_model,
+            pruned_cases=result.pruned_cases,
+            max_trail_depth=result.max_trail_depth,
         )
         return result, cache
 
@@ -275,6 +316,12 @@ def collect_cache_stats(sling, unfold_before: dict[str, int] | None = None) -> C
         checker_misses=stats["checker_misses"],
         unfold_hits=stats["unfold_hits"] - before_hits,
         unfold_misses=stats["unfold_misses"] - before_misses,
+        candidates_generated=stats["candidates_generated"],
+        candidates_prefiltered=stats["candidates_prefiltered"],
+        candidates_checked=stats["candidates_checked"],
+        refuted_by_first_model=stats["refuted_by_first_model"],
+        pruned_cases=stats["pruned_cases"],
+        max_trail_depth=stats["max_trail_depth"],
     )
 
 

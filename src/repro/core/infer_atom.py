@@ -29,6 +29,7 @@ from repro.sl.checker import ModelChecker
 from repro.sl.exprs import Expr, Nil, Var
 from repro.sl.model import StackHeapModel
 from repro.sl.predicates import InductivePredicate, PredicateRegistry
+from repro.sl.screen import ModelFacts, candidate_refuted
 from repro.sl.spatial import PointsTo, PredApp, SymHeap, fresh_vars
 
 
@@ -47,6 +48,9 @@ class InferAtomConfig:
     max_results: int = 4
     #: Keep zero-coverage results (formulas whose reduction consumes nothing).
     keep_vacuous: bool = False
+    #: Semantically pre-filter candidates against per-model facts before any
+    #: checker call (never changes results; see :mod:`repro.sl.screen`).
+    screen_candidates: bool = True
 
 
 def infer_atoms(
@@ -68,12 +72,19 @@ def infer_atoms(
     sub_heaps_empty = all(model.heap.is_empty() for model in sub_models)
 
     if not sub_heaps_empty:
+        # Per-model facts for the candidate pre-filter, computed once per
+        # split and shared by every predicate's candidate loop.
+        facts = (
+            tuple(ModelFacts(model, root) for model in sub_models)
+            if config.screen_candidates
+            else None
+        )
         for predicate in predicates.candidates_for_type(root_type):
             if predicate.arity > config.max_pred_arity:
                 continue
             results.extend(
                 _infer_inductive(
-                    root, sub_models, boundary, predicate, checker, sub_models, config
+                    root, sub_models, boundary, predicate, checker, facts, config
                 )
             )
         if all(len(model.heap) == 1 for model in sub_models):
@@ -105,44 +116,63 @@ def _infer_inductive(
     boundary: Sequence[str],
     predicate: InductivePredicate,
     checker: ModelChecker,
-    models: Sequence[StackHeapModel],
+    facts: Sequence[ModelFacts] | None,
     config: InferAtomConfig,
 ) -> list[AtomResult]:
-    """Enumerate and check argument permutations of one predicate."""
+    """Enumerate, pre-filter and check argument permutations of one predicate."""
     arity = predicate.arity
     results: list[AtomResult] = []
-    candidates_checked = 0
+    candidates_seen = 0
     others = [name for name in boundary if name != root]
     max_subset = min(arity, config.max_boundary_subset, len(boundary))
+    stats = checker.screen_stats
+    models_list = list(sub_models)
 
     seen_signatures: set[tuple] = set()
     for subset_size in range(1, max_subset + 1):
         for extra in itertools.combinations(others, subset_size - 1):
             subset = (root, *extra)
             fresh = fresh_vars(arity - subset_size, prefix="u")
+            fresh_set = set(fresh)
             pool = list(subset) + list(fresh)
             for permutation in itertools.permutations(pool, arity):
                 if root not in permutation:
                     continue
-                if not _type_consistent(permutation, predicate, sub_models, set(fresh)):
+                if not _type_consistent(permutation, predicate, sub_models, fresh_set):
                     continue
                 # Fresh existentials are interchangeable: collapse permutations
                 # that only differ by which fresh variable sits where.
                 signature = tuple(
-                    name if name not in fresh else "?" for name in permutation
+                    name if name not in fresh_set else "?" for name in permutation
                 )
                 if signature in seen_signatures:
                     continue
                 seen_signatures.add(signature)
-                candidates_checked += 1
-                if candidates_checked > config.max_candidates_per_pred:
+                # The admission cap deliberately counts every enumerated
+                # candidate (pre-filtered or not), so enabling the filter
+                # cannot let later permutations through that the unfiltered
+                # search would have cut off.
+                candidates_seen += 1
+                if candidates_seen > config.max_candidates_per_pred:
                     return results
-                used_fresh = tuple(name for name in permutation if name in fresh)
+                stats.candidates_generated += 1
+                if facts is not None and candidate_refuted(
+                    predicate,
+                    permutation,
+                    fresh_set,
+                    facts,
+                    checker.registry,
+                    drop_vacuous=not config.keep_vacuous,
+                ):
+                    stats.candidates_prefiltered += 1
+                    continue
+                used_fresh = tuple(name for name in permutation if name in fresh_set)
                 formula = SymHeap(
                     exists=used_fresh,
                     spatial=PredApp(predicate.name, [_to_expr(name) for name in permutation]),
                 )
-                check = checker.check_all(list(sub_models), formula)
+                stats.candidates_checked += 1
+                check = checker.check_all(models_list, formula)
                 if check is None:
                     continue
                 if not config.keep_vacuous and all(not result.consumed for result in check):

@@ -62,6 +62,15 @@ class SlingConfig:
     checker_max_steps: int = 50_000
     #: Capacity of the checker's reduction memo table (0 disables it).
     checker_cache_size: int = 65_536
+    #: Semantically pre-filter candidates before any checker call (see
+    #: ``docs/performance.md``; never changes results).
+    screen_candidates: bool = True
+    #: Check models smallest-heap-first and try the learned refuter first in
+    #: ``check_all`` (never changes results).
+    checker_fail_fast: bool = True
+    #: Screen predicate cases inside the search before instantiating them
+    #: (never changes results).
+    checker_prune_cases: bool = True
     #: Variable-analysis order: "reachability" (the paper's heuristic),
     #: "stack" (declaration order) or "reverse" (ablation baselines).
     variable_order: str = "reachability"
@@ -81,6 +90,7 @@ class SlingConfig:
             max_candidates_per_pred=self.max_candidates_per_pred,
             max_results=self.max_results_per_var,
             keep_vacuous=self.keep_vacuous,
+            screen_candidates=self.screen_candidates,
         )
 
     def interpreter_config(self) -> InterpreterConfig:
@@ -104,18 +114,28 @@ class Sling:
             predicates,
             max_steps=self.config.checker_max_steps,
             cache_size=self.config.checker_cache_size,
+            fail_fast=self.config.checker_fail_fast,
+            prune_cases=self.config.checker_prune_cases,
         )
+        # Hit/miss counters of the per-inference (variable, models) memo that
+        # shares Algorithm 2 runs among result branches.
+        self.atom_cache_hits = 0
+        self.atom_cache_misses = 0
 
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss counters of the checker memo and the unfolding caches."""
+        """Counters of the memo layers and the candidate-screening pipeline."""
         checker = self.checker.cache_info()
         unfold = self.predicates.unfold_stats()
-        return {
+        stats = {
             "checker_hits": checker["hits"],
             "checker_misses": checker["misses"],
             "unfold_hits": unfold["hits"],
             "unfold_misses": unfold["misses"],
+            "atom_cache_hits": self.atom_cache_hits,
+            "atom_cache_misses": self.atom_cache_misses,
         }
+        stats.update(self.checker.screen_stats.as_dict())
+        return stats
 
     # ------------------------------------------------------------------ tracing --
 
@@ -137,16 +157,7 @@ class Sling:
             config=self.config.interpreter_config(),
         )
         if self.config.discard_crashed_runs:
-            kept_runs = []
-            kept_events = []
-            for run, outcome in zip(traces.runs, traces.outcomes):
-                if outcome.crashed:
-                    kept_runs.append([])
-                else:
-                    kept_runs.append(run)
-                    kept_events.extend(run)
-            traces.runs = kept_runs
-            traces.events = kept_events
+            traces = traces.without_crashed_runs()
         return traces
 
     # ---------------------------------------------------------------- inference --
@@ -169,19 +180,34 @@ class Sling:
                 instantiations=[dict() for _ in models],
             )
         ]
+        # Result branches frequently reach a variable with identical residual
+        # models (different atoms earlier in the chain, same coverage), and
+        # Algorithm 2 is deterministic in (variable, models): share one
+        # split + candidate search among them.  AtomResults are immutable,
+        # so reuse across branches is safe.
+        atom_config = self.config.atom_config()
+        split_cache: dict[tuple, tuple] = {}
         for variable in order:
             next_results: list[InferredResult] = []
             for result in results:
-                split = split_heap(result.models, variable, self.program.structs)
-                atom_results = infer_atoms(
-                    variable,
-                    list(split.sub_models),
-                    split.boundary,
-                    self.predicates,
-                    self.checker,
-                    self.program.structs,
-                    self.config.atom_config(),
-                )
+                cache_key = (variable, tuple(result.models))
+                cached = split_cache.get(cache_key)
+                if cached is None:
+                    split = split_heap(result.models, variable, self.program.structs)
+                    atom_results = infer_atoms(
+                        variable,
+                        list(split.sub_models),
+                        split.boundary,
+                        self.predicates,
+                        self.checker,
+                        self.program.structs,
+                        atom_config,
+                    )
+                    split_cache[cache_key] = (split, atom_results)
+                    self.atom_cache_misses += 1
+                else:
+                    split, atom_results = cached
+                    self.atom_cache_hits += 1
                 for atom_result in atom_results:
                     atoms = list(result.atoms)
                     exists = list(result.exists)
@@ -222,7 +248,13 @@ class Sling:
     def infer_function(
         self, function_name: str, test_cases: Sequence[TestCase]
     ) -> Specification:
-        """Infer a full specification (pre, posts, loop invariants) for a function."""
+        """Infer a full specification (pre, posts, loop invariants) for a function.
+
+        The trace collection always runs here (rather than accepting a
+        pre-collected one): test-case closures may share a seeded RNG, so
+        which draw the tracer observes is part of the deterministic
+        contract -- see the note in ``evaluation.table1.evaluate_program``.
+        """
         start = time.perf_counter()
         function = self.program.get_function(function_name)
         traces = self.collect(function_name, test_cases)

@@ -56,6 +56,13 @@ class ProgramResult:
     checker_cache_misses: int = 0
     unfold_cache_hits: int = 0
     unfold_cache_misses: int = 0
+    # Candidate-screening counters (fail-fast pipeline of Algorithm 2).
+    candidates_generated: int = 0
+    candidates_prefiltered: int = 0
+    candidates_checked: int = 0
+    refuted_by_first_model: int = 0
+    pruned_cases: int = 0
+    max_trail_depth: int = 0
 
     def as_dict(self, include_invariants: bool = False) -> dict:
         """JSON-serializable view (used by ``python -m repro table1 --json``)."""
@@ -75,6 +82,12 @@ class ProgramResult:
             "checker_cache_misses": self.checker_cache_misses,
             "unfold_cache_hits": self.unfold_cache_hits,
             "unfold_cache_misses": self.unfold_cache_misses,
+            "candidates_generated": self.candidates_generated,
+            "candidates_prefiltered": self.candidates_prefiltered,
+            "candidates_checked": self.candidates_checked,
+            "refuted_by_first_model": self.refuted_by_first_model,
+            "pruned_cases": self.pruned_cases,
+            "max_trail_depth": self.max_trail_depth,
         }
         if include_invariants and self.specification is not None:
             data["inferred"] = [
@@ -118,6 +131,14 @@ class CategoryRow:
     @property
     def seconds(self) -> float:
         return sum(result.seconds for result in self.programs)
+
+    @property
+    def candidates_checked(self) -> int:
+        return sum(result.candidates_checked for result in self.programs)
+
+    @property
+    def candidates_prefiltered(self) -> int:
+        return sum(result.candidates_prefiltered for result in self.programs)
 
     @property
     def a_s_x(self) -> tuple[int, int, int]:
@@ -173,6 +194,12 @@ class Table1Result:
                         checker_misses=program.checker_cache_misses,
                         unfold_hits=program.unfold_cache_hits,
                         unfold_misses=program.unfold_cache_misses,
+                        candidates_generated=program.candidates_generated,
+                        candidates_prefiltered=program.candidates_prefiltered,
+                        candidates_checked=program.candidates_checked,
+                        refuted_by_first_model=program.refuted_by_first_model,
+                        pruned_cases=program.pruned_cases,
+                        max_trail_depth=program.max_trail_depth,
                     )
                 )
         return totals
@@ -205,6 +232,12 @@ def evaluate_program(
     function = benchmark.program.get_function(benchmark.function)
 
     start = time.perf_counter()
+    # NOTE: the trace collection is intentionally NOT passed to
+    # ``infer_function``.  The test-case closures share one seeded RNG, so
+    # the first collection (measured here for the Traces column) and the
+    # second one (collected inside ``infer_function``) see different random
+    # heaps; inference has always run on the second draw and reusing the
+    # first would change every downstream invariant.
     traces = sling.collect(benchmark.function, test_cases)
     specification = sling.infer_function(benchmark.function, test_cases)
     seconds = time.perf_counter() - start
@@ -240,6 +273,12 @@ def evaluate_program(
         checker_cache_misses=cache.checker_misses,
         unfold_cache_hits=cache.unfold_hits,
         unfold_cache_misses=cache.unfold_misses,
+        candidates_generated=cache.candidates_generated,
+        candidates_prefiltered=cache.candidates_prefiltered,
+        candidates_checked=cache.candidates_checked,
+        refuted_by_first_model=cache.refuted_by_first_model,
+        pruned_cases=cache.pruned_cases,
+        max_trail_depth=cache.max_trail_depth,
     )
 
 
@@ -279,10 +318,16 @@ def run_table1(
 
 
 def format_table1(result: Table1Result) -> str:
-    """Render Table 1 in the paper's column layout."""
+    """Render Table 1 in the paper's column layout.
+
+    The ``Cand`` column is the number of Algorithm 2 candidates that reached
+    the model checker (the pre-filter's survivors) -- the engine's
+    search-space metric.
+    """
     header = (
         f"{'Category':34s} {'Progs':>5s} {'LoC':>5s} {'iLocs':>5s} {'Traces':>7s} "
-        f"{'Invs':>10s} {'A/S/X':>8s} {'Time(s)':>8s} {'Single':>7s} {'Pred':>6s} {'Pure':>6s}"
+        f"{'Invs':>10s} {'A/S/X':>8s} {'Time(s)':>8s} {'Single':>7s} {'Pred':>6s} {'Pure':>6s} "
+        f"{'Cand':>6s}"
     )
     lines = [header, "-" * len(header)]
     for row in result.rows:
@@ -291,14 +336,17 @@ def format_table1(result: Table1Result) -> str:
         lines.append(
             f"{row.category:34s} {row.program_count:5d} {row.loc:5d} {row.locations:5d} "
             f"{row.traces:7d} {invariants:>10s} {f'{a}/{s}/{x}':>8s} {row.seconds:8.2f} "
-            f"{row.avg_singletons:7.2f} {row.avg_inductives:6.2f} {row.avg_pures:6.2f}"
+            f"{row.avg_singletons:7.2f} {row.avg_inductives:6.2f} {row.avg_pures:6.2f} "
+            f"{row.candidates_checked:6d}"
         )
     totals = result.totals()
+    cache = result.cache_totals()
     total_invariants = f"{int(totals['invariants'])}({int(totals['spurious'])})"
     lines.append("-" * len(header))
     lines.append(
         f"{'Total':34s} {totals['programs']:5.0f} {totals['loc']:5.0f} {totals['locations']:5.0f} "
-        f"{totals['traces']:7.0f} {total_invariants:>10s} {'':>8s} {totals['seconds']:8.2f}"
+        f"{totals['traces']:7.0f} {total_invariants:>10s} {'':>8s} {totals['seconds']:8.2f} "
+        f"{'':7s} {'':6s} {'':6s} {cache.candidates_checked:6d}"
     )
     return "\n".join(lines)
 

@@ -45,6 +45,10 @@ class BenchmarkComparison:
     name: str
     category: str
     outcomes: list[PropertyOutcome] = field(default_factory=list)
+    #: Algorithm 2 candidates the SLING run behind this comparison checked
+    #: (feeds the ``Cand`` column; the full counter set travels on the
+    #: engine report's ``CacheStats``).
+    candidates_checked: int = 0
 
 
 @dataclass
@@ -57,6 +61,8 @@ class Table2Row:
     s2_only: int = 0
     sling_only: int = 0
     neither: int = 0
+    #: Algorithm 2 candidates the SLING runs of this row actually checked.
+    candidates_checked: int = 0
 
     def add(self, sling_found: bool, s2_found: bool) -> None:
         self.total += 1
@@ -70,6 +76,8 @@ class Table2Row:
             self.neither += 1
 
     def as_dict(self) -> dict[str, object]:
+        # Schema note: new keys are only ever appended; existing consumers
+        # of the Table 2 JSON keep working.
         return {
             "category": self.category,
             "total": self.total,
@@ -77,6 +85,7 @@ class Table2Row:
             "s2_only": self.s2_only,
             "sling_only": self.sling_only,
             "neither": self.neither,
+            "candidates_checked": self.candidates_checked,
         }
 
 
@@ -94,6 +103,7 @@ class Table2Result:
             total.s2_only += row.s2_only
             total.sling_only += row.sling_only
             total.neither += row.neither
+            total.candidates_checked += row.candidates_checked
         return total
 
     def as_dict(self) -> dict[str, object]:
@@ -130,7 +140,9 @@ def compare_benchmark(
                 s2_found=id(documented) in s2_found,
             )
         )
-    return comparison, collect_cache_stats(sling, unfold_before)
+    cache = collect_cache_stats(sling, unfold_before)
+    comparison.candidates_checked = cache.candidates_checked
+    return comparison, cache
 
 
 def run_table2(
@@ -161,23 +173,31 @@ def run_table2(
             result.rows.append(row)
         for outcome in payload.outcomes:
             row.add(outcome.sling_found, outcome.s2_found)
+        row.candidates_checked += payload.candidates_checked
     return result
 
 
 def format_table2(result: Table2Result) -> str:
-    """Render Table 2 in the paper's column layout."""
-    header = f"{'Programs':34s} {'Total':>6s} {'Both':>6s} {'S2':>6s} {'SLING':>6s} {'Neither':>8s}"
+    """Render Table 2 in the paper's column layout.
+
+    ``Cand`` is the number of Algorithm 2 candidates that reached the model
+    checker during the row's SLING runs (see ``docs/performance.md``).
+    """
+    header = (
+        f"{'Programs':34s} {'Total':>6s} {'Both':>6s} {'S2':>6s} {'SLING':>6s} "
+        f"{'Neither':>8s} {'Cand':>6s}"
+    )
     lines = [header, "-" * len(header)]
     for row in result.rows:
         lines.append(
             f"{row.category:34s} {row.total:6d} {row.both:6d} {row.s2_only:6d} "
-            f"{row.sling_only:6d} {row.neither:8d}"
+            f"{row.sling_only:6d} {row.neither:8d} {row.candidates_checked:6d}"
         )
     summary = result.summary()
     lines.append("-" * len(header))
     lines.append(
         f"{summary.category:34s} {summary.total:6d} {summary.both:6d} {summary.s2_only:6d} "
-        f"{summary.sling_only:6d} {summary.neither:8d}"
+        f"{summary.sling_only:6d} {summary.neither:8d} {summary.candidates_checked:6d}"
     )
     return "\n".join(lines)
 

@@ -178,6 +178,28 @@ class TraceCollection:
         """Number of test cases that ended in a runtime error."""
         return sum(1 for outcome in self.outcomes if outcome.crashed)
 
+    def without_crashed_runs(self) -> "TraceCollection":
+        """A copy of the collection with the events of crashed runs dropped.
+
+        The paper's LLDB-batch workflow obtained no usable traces from
+        crashing programs; this models that by emptying the event list of
+        every crashed run (the run slot itself is kept so ``runs`` stays
+        parallel to ``outcomes``).  The receiver is left untouched -- the
+        result shares the (immutable) events and outcomes but owns its own
+        lists.
+        """
+        kept_runs: list[list[TraceEvent]] = []
+        kept_events: list[TraceEvent] = []
+        for run, outcome in zip(self.runs, self.outcomes):
+            if outcome.crashed:
+                kept_runs.append([])
+            else:
+                kept_runs.append(list(run))
+                kept_events.extend(run)
+        return TraceCollection(
+            events=kept_events, outcomes=list(self.outcomes), runs=kept_runs
+        )
+
     def has_freed_cell_models(self, location: Location) -> bool:
         """True when any model at ``location`` observed freed cells."""
         return any(model.has_freed_cells() for model in self.models_at(location))

@@ -17,6 +17,22 @@ variables by unification against observed values.  Among all valid
 reductions the checker returns one with a *minimal* residual heap (maximal
 coverage), which matches the behaviour SLING relies on in its examples
 (e.g. ``dll(x, u1, u2, tmp)`` covering the whole sub-heap of ``x``).
+
+Performance architecture (see ``docs/performance.md``):
+
+* the memo table is keyed on :meth:`SymHeap.structural_key` -- a nested
+  tuple built from interned AST nodes, with existentials alpha-normalized
+  positionally -- instead of a ``pretty()``-rendered string;
+* the search threads one mutable environment and one mutable
+  available-address set through the recursion, undoing bindings via a
+  *trail* on backtrack, instead of copying a ``dict`` per branch;
+* predicate cases are screened (:mod:`repro.sl.screen`) before they are
+  instantiated: a recursive case whose root address is not available, or a
+  base case whose equalities are already violated, is skipped outright;
+* :meth:`check_all` is fail-fast: models are tried in ascending heap-size
+  order and the last refuting model per formula shape is remembered, so the
+  likeliest refuter runs first and most wrong candidates die after a single
+  (often memoized) check.
 """
 
 from __future__ import annotations
@@ -30,7 +46,9 @@ from repro.sl.exprs import (
     And,
     Eq,
     Expr,
+    IntConst,
     Ne,
+    Nil,
     Not,
     Or,
     PureFormula,
@@ -39,7 +57,8 @@ from repro.sl.exprs import (
     Var,
 )
 from repro.sl.model import Heap, StackHeapModel
-from repro.sl.predicates import PredicateRegistry
+from repro.sl.predicates import PredicateRegistry, canonical_unfold_key
+from repro.sl.screen import ScreeningStats, case_feasible, formula_shape
 from repro.sl.spatial import Emp, PointsTo, PredApp, SepConj, Spatial, SymHeap
 
 
@@ -63,6 +82,10 @@ class _SearchState:
     steps: int = 0
     solutions: int = 0
     max_depth: int = 0
+    #: Binding trail: variable names (bound in the environment) interleaved
+    #: with addresses (consumed from the available set), popped on backtrack.
+    trail: list = field(default_factory=list)
+    max_trail: int = 0
 
 
 class CheckBudgetExceeded(Exception):
@@ -85,10 +108,19 @@ class ModelChecker:
         formulas.
     cache_size:
         Capacity of the built-in memo table.  Every ``check`` call is keyed
-        on ``(canonical formula, model)`` -- the formula is alpha-renamed so
-        candidates that differ only in the machine-generated names of their
-        existentials share one entry -- and both successful and failed
-        reductions are cached.  ``0`` disables memoization.
+        on ``(structural key, model)`` -- the key alpha-renames existentials
+        positionally so candidates that differ only in the machine-generated
+        names of their existentials share one entry -- and both successful
+        and failed reductions are cached.  ``0`` disables memoization.
+    fail_fast:
+        When true, :meth:`check_all` orders models by ascending heap size
+        and remembers the last refuting model per formula shape, so the
+        likeliest refuter is tried first.  Results are unchanged either way.
+    prune_cases:
+        When true, predicate cases are screened against the current
+        environment before being instantiated (skipping, e.g., recursive
+        cases whose root address is not available).  Results are unchanged
+        either way.
     """
 
     def __init__(
@@ -97,26 +129,36 @@ class ModelChecker:
         max_steps: int = 50_000,
         max_solutions: int = 64,
         cache_size: int = 65_536,
+        fail_fast: bool = True,
+        prune_cases: bool = True,
     ):
         self.registry = registry
         self.max_steps = max_steps
         self.max_solutions = max_solutions
         self.cache_size = cache_size
+        self.fail_fast = fail_fast
+        self.prune_cases = prune_cases
         self._cache: OrderedDict[tuple, tuple | None] | None = (
             OrderedDict() if cache_size > 0 else None
         )
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Screening / fail-fast counters (shared with the candidate loop).
+        self.screen_stats = ScreeningStats()
+        #: Learned refuters: formula shape -> index of the model (within the
+        #: last ``check_all`` batch of that shape) that refuted it.
+        self._refuters: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------ API --
 
     def check(self, model: StackHeapModel, formula: SymHeap) -> CheckResult | None:
         """Memoizing wrapper around the reduction of Definition 2.
 
-        Results are looked up by the alpha-normalized formula and the model;
-        on a hit the cached instantiation is rebound to the formula's actual
-        existential names (cached entries are name-independent otherwise:
-        residual and consumed sets only mention heap addresses).
+        Results are looked up by the alpha-normalized structural key of the
+        formula and the model; on a hit the cached instantiation is rebound
+        to the formula's actual existential names (cached entries are
+        name-independent otherwise: residual and consumed sets only mention
+        heap addresses).
         """
         if self._cache is None:
             return self._check_uncached(model, formula)
@@ -125,12 +167,13 @@ class ModelChecker:
         # stack (a scoping quirk kept for compatibility), so alpha-variants
         # with different collisions are NOT equivalent and must not share an
         # entry.
+        stack = model.stack_map
         shadow = tuple(
             position
             for position, name in enumerate(formula.exists)
-            if model.has_var(name)
+            if name in stack
         )
-        key = (canonical_formula_key(formula), shadow, model)
+        key = (formula.structural_key(), shadow, model)
         entry = self._cache.get(key, _CACHE_ABSENT)
         if entry is not _CACHE_ABSENT:
             self._cache.move_to_end(key)
@@ -181,24 +224,31 @@ class ModelChecker:
 
     def _check_uncached(self, model: StackHeapModel, formula: SymHeap) -> CheckResult | None:
         """Run the reduction of Definition 2; ``None`` when no reduction exists."""
-        stack_env = dict(model.stack)
+        env = dict(model.stack)
         unknowns = set(formula.exists)
         # Free variables of the formula must be interpretable by the stack.
         for name in formula.free_vars():
-            if name not in stack_env:
+            if name not in env:
                 return None
 
-        goals = list(formula.spatial_atoms()) + list(_pure_conjuncts(formula.pure))
-        state = _SearchState(max_depth=3 * len(model.heap) + 3 * len(goals) + 30)
+        spatials = list(formula.spatial_atoms())
+        pures = _pure_conjuncts(formula.pure)
+        state = _SearchState(
+            max_depth=3 * len(model.heap) + 3 * (len(spatials) + len(pures)) + 30
+        )
+        domain = model.heap.domain()
+        available = set(domain)
         best: CheckResult | None = None
         try:
-            for env, available in self._solve(goals, stack_env, unknowns, model.heap.domain(), model, state, 0):
-                consumed = model.heap.domain() - available
+            for solution_env, avail in self._solve(spatials, pures, env, unknowns, available, model, state, 0):
+                consumed = domain - avail
                 instantiation = {
-                    name: env[name] for name in formula.exists if name in env
+                    name: solution_env[name]
+                    for name in formula.exists
+                    if name in solution_env
                 }
                 result = CheckResult(
-                    residual=model.heap.restrict(available),
+                    residual=model.heap.restrict(avail),
                     instantiation=instantiation,
                     consumed=frozenset(consumed),
                 )
@@ -209,19 +259,46 @@ class ModelChecker:
                     break
         except CheckBudgetExceeded:
             pass
+        if state.max_trail > self.screen_stats.max_trail_depth:
+            self.screen_stats.max_trail_depth = state.max_trail
         return best
 
     def check_all(
         self, models: Sequence[StackHeapModel], formula: SymHeap
     ) -> list[CheckResult] | None:
-        """Check a formula against every model; ``None`` unless all succeed."""
-        results = []
-        for model in models:
-            result = self.check(model, formula)
+        """Check a formula against every model; ``None`` unless all succeed.
+
+        With ``fail_fast`` enabled the models are *tried* in ascending
+        heap-size order, preceded by the model that most recently refuted a
+        formula of the same shape -- most wrong candidates are then settled
+        by the first check.  The returned list is always in input order.
+        """
+        count = len(models)
+        if not self.fail_fast or count <= 1:
+            results = []
+            for model in models:
+                result = self.check(model, formula)
+                if result is None:
+                    return None
+                results.append(result)
+            return results
+
+        shape = formula_shape(formula)
+        order = sorted(range(count), key=lambda index: len(models[index].heap))
+        hint = self._refuters.get(shape)
+        if hint is not None and 0 <= hint < count and order[0] != hint:
+            order.remove(hint)
+            order.insert(0, hint)
+        results: list[CheckResult | None] = [None] * count
+        for position, index in enumerate(order):
+            result = self.check(models[index], formula)
             if result is None:
+                self._refuters[shape] = index
+                if position == 0:
+                    self.screen_stats.refuted_by_first_model += 1
                 return None
-            results.append(result)
-        return results
+            results[index] = result
+        return results  # type: ignore[return-value]
 
     def satisfies(self, model: StackHeapModel, formula: SymHeap) -> bool:
         """Exact satisfaction ``s,h |= F`` (the residual heap must be empty)."""
@@ -232,76 +309,99 @@ class ModelChecker:
 
     def _solve(
         self,
-        goals: list[object],
+        spatials: list[Spatial],
+        pures: list[PureFormula],
         env: dict[str, int],
         unknowns: set[str],
-        available: frozenset[int],
+        available: set[int],
         model: StackHeapModel,
         state: _SearchState,
         depth: int,
-    ) -> Iterator[tuple[dict[str, int], frozenset[int]]]:
-        """Yield (environment, remaining addresses) pairs satisfying all goals."""
+    ) -> Iterator[tuple[dict[str, int], set[int]]]:
+        """Yield (environment, remaining addresses) pairs satisfying all goals.
+
+        Goals arrive pre-partitioned into spatial atoms and pure conjuncts
+        (each list in its original relative order).  ``env``, ``unknowns``
+        and ``available`` are shared mutable state: bindings and
+        consumptions are recorded on ``state.trail`` and undone when this
+        frame backtracks (including early generator shutdown).  Yielded
+        values are live views -- callers must read them before resuming the
+        iteration.
+        """
         state.steps += 1
         if state.steps > self.max_steps:
             raise CheckBudgetExceeded
         if depth > state.max_depth:
             return
 
-        # First discharge all pure goals that are currently decidable; they
-        # never branch, so doing them eagerly prunes the search.
-        goals = list(goals)
-        progress = True
-        while progress:
-            progress = False
-            for index, goal in enumerate(goals):
-                if isinstance(goal, PureFormula):
-                    outcome = self._step_pure(goal, env, unknowns)
-                    if outcome is _FAIL:
-                        return
-                    if outcome is _DEFER:
-                        continue
-                    env = outcome
-                    goals.pop(index)
-                    progress = True
-                    break
+        trail = state.trail
+        entry_mark = len(trail)
+        if entry_mark > state.max_trail:
+            state.max_trail = entry_mark
+        try:
+            # First discharge all pure goals that are currently decidable;
+            # they never branch, so doing them eagerly prunes the search.
+            # The caller's list is only copied once a goal is actually
+            # discharged (most frames defer everything).
+            if pures:
+                copied = False
+                progress = True
+                while progress:
+                    progress = False
+                    for index, goal in enumerate(pures):
+                        outcome = self._step_pure(goal, env, unknowns, trail)
+                        if outcome is _FAIL:
+                            return
+                        if outcome is _DEFER:
+                            continue
+                        if not copied:
+                            pures = list(pures)
+                            copied = True
+                        pures.pop(index)
+                        progress = True
+                        break
 
-        spatial_goals = [goal for goal in goals if isinstance(goal, Spatial)]
-        if not spatial_goals:
-            # Only deferred pure goals remain: constraints over existential
-            # variables that the heap never pinned down (e.g. the outer bounds
-            # of a bst or the lower bound of a sorted-list segment).  Try to
-            # discharge them with a lightweight bound analysis.
-            final_env = self._discharge_deferred(
-                [goal for goal in goals if isinstance(goal, PureFormula)], env, unknowns
-            )
-            if final_env is None:
+            if not spatials:
+                # Only deferred pure goals remain: constraints over
+                # existential variables that the heap never pinned down
+                # (e.g. the outer bounds of a bst or the lower bound of a
+                # sorted-list segment).  Try to discharge them with a
+                # lightweight bound analysis.
+                final_env = self._discharge_deferred(pures, env, unknowns)
+                if final_env is None:
+                    return
+                yield final_env, available
                 return
-            yield final_env, available
-            return
 
-        goal = self._pick_spatial(spatial_goals, env)
-        rest = list(goals)
-        rest.remove(goal)
+            goal = self._pick_spatial(spatials, env)
+            rest = list(spatials)
+            rest.remove(goal)
 
-        if isinstance(goal, Emp):
-            yield from self._solve(rest, env, unknowns, available, model, state, depth)
-        elif isinstance(goal, PointsTo):
-            yield from self._solve_points_to(goal, rest, env, unknowns, available, model, state, depth)
-        elif isinstance(goal, PredApp):
-            yield from self._solve_pred(goal, rest, env, unknowns, available, model, state, depth)
-        elif isinstance(goal, SepConj):
-            expanded = list(goal.atoms()) + rest
-            yield from self._solve(expanded, env, unknowns, available, model, state, depth)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unexpected spatial goal {goal!r}")
+            cls = goal.__class__
+            if cls is PointsTo:
+                yield from self._solve_points_to(goal, rest, pures, env, unknowns, available, model, state, depth)
+            elif cls is PredApp:
+                yield from self._solve_pred(goal, rest, pures, env, unknowns, available, model, state, depth)
+            elif cls is Emp:
+                yield from self._solve(rest, pures, env, unknowns, available, model, state, depth)
+            elif cls is SepConj:
+                expanded = list(goal.atoms()) + rest
+                yield from self._solve(expanded, pures, env, unknowns, available, model, state, depth)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected spatial goal {goal!r}")
+        finally:
+            if len(trail) > entry_mark:
+                _undo(env, available, trail, entry_mark)
 
     def _pick_spatial(self, goals: list[Spatial], env: dict[str, int]) -> Spatial:
         """Prefer atoms whose anchor address is already known (less branching)."""
+        if len(goals) == 1:
+            return goals[0]
         for goal in goals:
-            if isinstance(goal, PointsTo) and _try_eval(goal.source, env) is not None:
+            if goal.__class__ is PointsTo and _try_eval(goal.source, env) is not None:
                 return goal
         for goal in goals:
-            if isinstance(goal, PredApp) and goal.args and _try_eval(goal.args[0], env) is not None:
+            if goal.__class__ is PredApp and goal.args and _try_eval(goal.args[0], env) is not None:
                 return goal
         return goals[0]
 
@@ -310,53 +410,64 @@ class ModelChecker:
     def _solve_points_to(
         self,
         goal: PointsTo,
-        rest: list[object],
+        rest: list[Spatial],
+        pures: list[PureFormula],
         env: dict[str, int],
         unknowns: set[str],
-        available: frozenset[int],
+        available: set[int],
         model: StackHeapModel,
         state: _SearchState,
         depth: int,
-    ) -> Iterator[tuple[dict[str, int], frozenset[int]]]:
+    ) -> Iterator[tuple[dict[str, int], set[int]]]:
         source_value = _try_eval(goal.source, env)
+        bind_name = None
         if source_value is not None:
             candidates: list[int] = [source_value] if source_value in available else []
         elif isinstance(goal.source, Var) and goal.source.name in unknowns:
             candidates = sorted(available)
+            bind_name = goal.source.name
         else:
             candidates = []
 
+        trail = state.trail
+        heap_get = model.heap.get
+        goal_args = goal.args
+        arg_count = len(goal_args)
         for addr in candidates:
             if addr not in available:
                 continue
-            cell = model.heap.get(addr)
+            cell = heap_get(addr)
             if cell is None or cell.type_name != goal.type_name:
                 continue
-            if len(cell.values) != len(goal.args):
+            values = cell.values
+            if len(values) != arg_count:
                 continue
-            env_after = dict(env)
-            if source_value is None:
-                env_after[goal.source.name] = addr  # type: ignore[union-attr]
-            bound = _unify_all(goal.args, cell.values, env_after, unknowns)
-            if bound is None:
-                continue
-            yield from self._solve(
-                rest, bound, unknowns, available - {addr}, model, state, depth
-            )
+            mark = len(trail)
+            if bind_name is not None:
+                env[bind_name] = addr
+                trail.append(bind_name)
+            if _unify_all(goal_args, values, env, unknowns, trail):
+                available.discard(addr)
+                trail.append(addr)
+                yield from self._solve(
+                    rest, pures, env, unknowns, available, model, state, depth
+                )
+            _undo(env, available, trail, mark)
 
     # -- inductive predicates ------------------------------------------------------
 
     def _solve_pred(
         self,
         goal: PredApp,
-        rest: list[object],
+        rest: list[Spatial],
+        pures: list[PureFormula],
         env: dict[str, int],
         unknowns: set[str],
-        available: frozenset[int],
+        available: set[int],
         model: StackHeapModel,
         state: _SearchState,
         depth: int,
-    ) -> Iterator[tuple[dict[str, int], frozenset[int]]]:
+    ) -> Iterator[tuple[dict[str, int], set[int]]]:
         try:
             definition = self.registry.get(goal.name)
         except UnknownPredicateError:
@@ -368,17 +479,34 @@ class ModelChecker:
         # size): every well-formed recursive case consumes at least one cell
         # before recursing, so deeper unfoldings cannot succeed and are pruned
         # in ``_solve``.
+        screens = definition.case_screens() if self.prune_cases else None
+        if screens is not None:
+            arg_values = [_try_eval(arg, env) for arg in goal.args]
+            heap_get = model.heap.get
+        unfold_key: object = _KEY_UNSET
         for case_index in range(len(definition.cases)):
-            body = definition.instantiate_case(case_index, goal.args)
-            case_unknowns = unknowns | set(body.exists)
-            case_goals = (
-                list(body.spatial_atoms())
-                + list(_pure_conjuncts(body.pure))
-                + rest
+            if screens is not None and not case_feasible(
+                screens[case_index], arg_values, heap_get, available
+            ):
+                # The case's own equalities or points-to anchors are already
+                # violated (e.g. a recursive case whose root address is not
+                # available): instantiating it could only fail.
+                self.screen_stats.pruned_cases += 1
+                continue
+            if unfold_key is _KEY_UNSET:
+                unfold_key = canonical_unfold_key(goal.args)
+            case_exists, case_atoms, case_conjs = definition.instantiate_case_goals(
+                case_index, goal.args, unfold_key
             )
-            yield from self._solve(
-                case_goals, dict(env), case_unknowns, available, model, state, depth + 1
-            )
+            unknowns.update(case_exists)
+            case_spatials = case_atoms + rest
+            case_pures = case_conjs + pures
+            try:
+                yield from self._solve(
+                    case_spatials, case_pures, env, unknowns, available, model, state, depth + 1
+                )
+            finally:
+                unknowns.difference_update(case_exists)
 
     def _discharge_deferred(
         self, goals: list[PureFormula], env: dict[str, int], unknowns: set[str]
@@ -392,21 +520,24 @@ class ModelChecker:
         witness value.  Constraints that still involve two or more unbound
         variables afterwards are accepted optimistically (they are trivially
         satisfiable in isolation for the predicate shapes we support).
+
+        Operates on a private copy of the environment (with its own local
+        trail), so the caller's trail discipline is unaffected.
         """
         env = dict(env)
+        local_trail: list = []
         pending = list(goals)
         changed = True
         while changed:
             changed = False
             remaining: list[PureFormula] = []
             for goal in pending:
-                outcome = self._step_pure(goal, env, unknowns)
+                outcome = self._step_pure(goal, env, unknowns, local_trail)
                 if outcome is _FAIL:
                     return None
                 if outcome is _DEFER:
                     remaining.append(goal)
                     continue
-                env = outcome
                 changed = True
             pending = remaining
             if changed:
@@ -441,67 +572,96 @@ class ModelChecker:
     # -- pure goals -----------------------------------------------------------------
 
     def _step_pure(
-        self, goal: PureFormula, env: dict[str, int], unknowns: set[str]
-    ) -> dict[str, int] | object:
-        """Try to discharge a pure goal.
+        self, goal: PureFormula, env: dict[str, int], unknowns: set[str], trail: list
+    ) -> object:
+        """Try to discharge a pure goal against the shared environment.
 
-        Returns an (possibly extended) environment on success, ``_FAIL`` when
-        the goal is definitely violated and ``_DEFER`` when it cannot be
-        decided yet because of unbound existential variables.
+        Returns ``_OK`` on success (bindings, if any, are recorded on
+        ``trail``), ``_FAIL`` when the goal is definitely violated and
+        ``_DEFER`` when it cannot be decided yet because of unbound
+        existential variables.  On ``_FAIL``/``_DEFER`` any partial bindings
+        made while evaluating the goal have been undone.
         """
-        if isinstance(goal, TrueF):
-            return env
-        if isinstance(goal, FalseF):
+        cls = goal.__class__
+        if cls is Eq:
+            side = goal.left
+            side_cls = side.__class__
+            if side_cls is Var:
+                left = env.get(side.name)
+            elif side_cls is Nil:
+                left = 0
+            else:
+                left = _try_eval(side, env)
+            side = goal.right
+            side_cls = side.__class__
+            if side_cls is Var:
+                right = env.get(side.name)
+            elif side_cls is Nil:
+                right = 0
+            else:
+                right = _try_eval(side, env)
+            if left is not None:
+                if right is not None:
+                    return _OK if left == right else _FAIL
+                target = goal.right
+                if isinstance(target, Var) and target.name in unknowns:
+                    env[target.name] = left
+                    trail.append(target.name)
+                    return _OK
+                return _DEFER
+            if right is not None:
+                target = goal.left
+                if isinstance(target, Var) and target.name in unknowns:
+                    env[target.name] = right
+                    trail.append(target.name)
+                    return _OK
+            return _DEFER
+        if cls is TrueF:
+            return _OK
+        if cls is FalseF:
             return _FAIL
-        if isinstance(goal, And):
-            current = env
+        if cls is And:
+            mark = len(trail)
             for part in goal.parts:
-                outcome = self._step_pure(part, current, unknowns)
+                outcome = self._step_pure(part, env, unknowns, trail)
                 if outcome is _FAIL or outcome is _DEFER:
+                    _undo_env(env, trail, mark)
                     return outcome
-                current = outcome
-            return current
-        if isinstance(goal, Or):
+            return _OK
+        if cls is Or:
             deferred = False
             for part in goal.parts:
-                outcome = self._step_pure(part, dict(env), unknowns)
+                mark = len(trail)
+                outcome = self._step_pure(part, env, unknowns, trail)
+                if outcome is _OK:
+                    return _OK
+                _undo_env(env, trail, mark)
                 if outcome is _DEFER:
                     deferred = True
-                elif outcome is not _FAIL:
-                    return outcome
             return _DEFER if deferred else _FAIL
-        if isinstance(goal, Not):
-            inner = self._step_pure(goal.operand, dict(env), unknowns)
+        if cls is Not:
+            mark = len(trail)
+            inner = self._step_pure(goal.operand, env, unknowns, trail)
+            _undo_env(env, trail, mark)
             if inner is _DEFER:
                 return _DEFER
-            if inner is _FAIL:
-                return env
-            return _FAIL
-        if isinstance(goal, Eq):
-            left = _try_eval(goal.left, env)
-            right = _try_eval(goal.right, env)
-            if left is not None and right is not None:
-                return env if left == right else _FAIL
-            if left is not None and isinstance(goal.right, Var) and goal.right.name in unknowns:
-                extended = dict(env)
-                extended[goal.right.name] = left
-                return extended
-            if right is not None and isinstance(goal.left, Var) and goal.left.name in unknowns:
-                extended = dict(env)
-                extended[goal.left.name] = right
-                return extended
-            return _DEFER
+            return _OK if inner is _FAIL else _FAIL
         # Remaining binary relations (Ne, Lt, Le, Gt, Ge): decidable only when
         # both sides evaluate.
         try:
-            return env if goal.eval(env) else _FAIL
+            return _OK if goal.eval(env) else _FAIL
         except EvaluationError:
             return _DEFER
 
 
 # Sentinels used by ``_step_pure``.
+_OK = object()
 _FAIL = object()
 _DEFER = object()
+
+# Sentinel for the lazily computed unfold key in ``_solve_pred`` (the key
+# itself may legitimately be ``None`` for non-canonical argument tuples).
+_KEY_UNSET = object()
 
 # Sentinel distinguishing "cached None" from "not cached" in the memo table.
 _CACHE_ABSENT = object()
@@ -510,13 +670,10 @@ _CACHE_ABSENT = object()
 def canonical_formula_key(formula: SymHeap) -> str:
     """Render a formula with its existentials alpha-renamed positionally.
 
-    Candidate formulae are generated with globally fresh existential names
-    (``u17``, ``u18``, ...), so the same logical candidate re-checked later
-    in the search never reuses a name.  Renaming the bound variables to
-    ``?e0, ?e1, ...`` (by position -- ``?`` cannot appear in parsed names)
-    makes alpha-equivalent candidates collide in the memo table, and the
-    positional scheme lets cached instantiations be rebound to the actual
-    names of the formula being checked.
+    This is the original (pretty-printed) memo key, kept for debugging and
+    for asserting alpha-equivalence in tests; the checker itself now keys
+    its memo table on the much cheaper :meth:`SymHeap.structural_key`, which
+    induces the same equivalence classes.
     """
     from repro.sl.pretty import pretty
 
@@ -539,6 +696,22 @@ def canonical_formula_key(formula: SymHeap) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _undo(env: dict[str, int], available: set[int], trail: list, mark: int) -> None:
+    """Pop trail entries down to ``mark``: unbind names, restore addresses."""
+    while len(trail) > mark:
+        entry = trail.pop()
+        if entry.__class__ is str:
+            del env[entry]
+        else:
+            available.add(entry)
+
+
+def _undo_env(env: dict[str, int], trail: list, mark: int) -> None:
+    """Pop (environment-only) trail entries down to ``mark``."""
+    while len(trail) > mark:
+        del env[trail.pop()]
+
+
 def _pure_conjuncts(pure: PureFormula) -> list[PureFormula]:
     """Flatten a pure formula into a list of conjuncts."""
     if isinstance(pure, TrueF):
@@ -553,6 +726,13 @@ def _pure_conjuncts(pure: PureFormula) -> list[PureFormula]:
 
 def _try_eval(expr: Expr, env: dict[str, int]) -> int | None:
     """Evaluate an expression, returning ``None`` when a variable is unbound."""
+    cls = expr.__class__
+    if cls is Var:
+        return env.get(expr.name)
+    if cls is Nil:
+        return 0
+    if cls is IntConst:
+        return expr.value
     try:
         return expr.eval(env)
     except EvaluationError:
@@ -598,16 +778,24 @@ def _as_bound(
     return None
 
 
-def _unify(expr: Expr, value: int, env: dict[str, int], unknowns: set[str]) -> dict[str, int] | None:
-    """Unify an argument expression against an observed value."""
+def _unify(
+    expr: Expr, value: int, env: dict[str, int], unknowns: set[str], trail: list
+) -> bool:
+    """Unify an argument expression against an observed value (trail-bound)."""
+    if expr.__class__ is Var:
+        name = expr.name
+        current = env.get(name)
+        if current is not None:
+            return current == value
+        if name in unknowns:
+            env[name] = value
+            trail.append(name)
+            return True
+        return False
     current = _try_eval(expr, env)
     if current is not None:
-        return env if current == value else None
-    if isinstance(expr, Var) and expr.name in unknowns:
-        extended = dict(env)
-        extended[expr.name] = value
-        return extended
-    return None
+        return current == value
+    return False
 
 
 def _unify_all(
@@ -615,11 +803,14 @@ def _unify_all(
     values: Sequence[int],
     env: dict[str, int],
     unknowns: set[str],
-) -> dict[str, int] | None:
-    """Unify a sequence of expressions against observed values, left to right."""
-    current: dict[str, int] | None = env
+    trail: list,
+) -> bool:
+    """Unify expressions against observed values, left to right.
+
+    Bindings are recorded on ``trail``; on failure the caller is expected to
+    undo to its own mark (partial bindings may remain on the trail).
+    """
     for expr, value in zip(exprs, values):
-        if current is None:
-            return None
-        current = _unify(expr, value, current, unknowns)
-    return current
+        if not _unify(expr, value, env, unknowns, trail):
+            return False
+    return True

@@ -9,7 +9,19 @@ Expressions and formulae are immutable dataclasses.  They support
 
 * evaluation under an environment (a mapping from variable names to values),
 * substitution of variables by expressions,
-* free-variable computation.
+* free-variable computation,
+* structural keys (:meth:`Expr.skey`): nested tuples of plain strings and
+  integers that identify a term up to a variable renaming supplied by the
+  caller.  The model checker's memo table is keyed on these instead of
+  pretty-printed strings -- building a tuple is an order of magnitude
+  cheaper than rendering, and tuple hashing reuses CPython's cached string
+  hashes.
+
+``Var`` instances are hash-consed: constructing the same name twice yields
+the same object (up to an interning capacity), and the hash is computed once
+and cached.  Candidate enumeration builds millions of variable nodes per
+sweep, almost all of them drawn from a small set of program and boundary
+names.
 """
 
 from __future__ import annotations
@@ -22,6 +34,16 @@ from repro.sl.errors import EvaluationError
 #: The concrete value of the ``nil`` constant.  Address 0 is never allocated
 #: by the heaplang runtime, mirroring the NULL pointer of C.
 NIL_VALUE = 0
+
+#: Interning table for :class:`Var` nodes (name -> instance).  Bounded so a
+#: long-running process churning through globally fresh existential names
+#: cannot grow it without limit; names beyond the cap get ordinary instances.
+_VAR_INTERN: dict[str, "Var"] = {}
+_VAR_INTERN_LIMIT = 65_536
+
+#: Sentinel distinguishing "no argument" (unpickling goes through
+#: ``__new__(cls)`` with no fields) from an empty variable name.
+_UNSET = object()
 
 
 # ---------------------------------------------------------------------------
@@ -48,12 +70,53 @@ class Expr:
         """Return the expression with variables replaced according to ``subst``."""
         raise NotImplementedError
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        """Structural key: a hashable tuple/str/int tree identifying the term.
+
+        ``ren`` maps variable names to replacement tokens (used to alpha-
+        normalize bound variables positionally); unmapped names appear
+        verbatim.  Two expressions have equal keys iff they are equal up to
+        that renaming.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class Var(Expr):
-    """A program or existential variable."""
+    """A program or existential variable (hash-consed)."""
 
     name: str
+
+    def __new__(cls, name: object = _UNSET):
+        if name is _UNSET or cls is not Var:  # unpickling / copy path
+            return super().__new__(cls)
+        if name.startswith("_") or (name.startswith("u") and name[1:].isdigit()):
+            # Globally fresh names ("_v<N>" from the checker, "u<N>" from
+            # the candidate loop) are constructed a handful of times and
+            # never reused; interning them would only fill the bounded
+            # table with dead entries and displace reusable program names.
+            return super().__new__(cls)
+        cached = _VAR_INTERN.get(name)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        if len(_VAR_INTERN) < _VAR_INTERN_LIMIT:
+            _VAR_INTERN[name] = self
+        return self
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(("var", self.name))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # The cached hash is salted per process (PYTHONHASHSEED); never let
+        # it travel across a pickle boundary to a foreign interpreter.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
     def eval(self, env: Mapping[str, int]) -> int:
         if self.name not in env:
@@ -65,6 +128,9 @@ class Var(Expr):
 
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return subst.get(self.name, self)
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ren.get(self.name, self.name)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.name
@@ -85,13 +151,27 @@ class IntConst(Expr):
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return self
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return self.value
+
     def __str__(self) -> str:  # pragma: no cover
         return str(self.value)
 
 
 @dataclass(frozen=True)
 class Nil(Expr):
-    """The ``nil`` spatial constant (the null address)."""
+    """The ``nil`` spatial constant (the null address); a process singleton."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls is Nil:
+            cached = Nil._instance
+            if cached is not None:
+                return cached
+            Nil._instance = cached = super().__new__(cls)
+            return cached
+        return super().__new__(cls)
 
     def eval(self, env: Mapping[str, int]) -> int:
         return NIL_VALUE
@@ -102,8 +182,16 @@ class Nil(Expr):
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return self
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return _NIL_KEY
+
     def __str__(self) -> str:  # pragma: no cover
         return "nil"
+
+
+#: Shared structural-key atom for ``nil`` (a tuple so it can never collide
+#: with a variable literally named "nil" -- variables key as plain strings).
+_NIL_KEY = ("nil",)
 
 
 @dataclass(frozen=True)
@@ -120,6 +208,9 @@ class Neg(Expr):
 
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return Neg(self.operand.substitute(subst))
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("neg", self.operand.skey(ren))
 
 
 @dataclass(frozen=True)
@@ -138,6 +229,9 @@ class Add(Expr):
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return Add(self.left.substitute(subst), self.right.substitute(subst))
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("add", self.left.skey(ren), self.right.skey(ren))
+
 
 @dataclass(frozen=True)
 class Sub(Expr):
@@ -154,6 +248,9 @@ class Sub(Expr):
 
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return Sub(self.left.substitute(subst), self.right.substitute(subst))
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("sub", self.left.skey(ren), self.right.skey(ren))
 
 
 @dataclass(frozen=True)
@@ -172,6 +269,9 @@ class Mul(Expr):
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return Mul(self.factor, self.operand.substitute(subst))
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("mul", self.factor, self.operand.skey(ren))
+
 
 @dataclass(frozen=True)
 class Max(Expr):
@@ -188,6 +288,9 @@ class Max(Expr):
 
     def substitute(self, subst: Mapping[str, Expr]) -> Expr:
         return Max(self.left.substitute(subst), self.right.substitute(subst))
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("max", self.left.skey(ren), self.right.skey(ren))
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +312,10 @@ class PureFormula:
     def substitute(self, subst: Mapping[str, Expr]) -> "PureFormula":
         raise NotImplementedError
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        """Structural key of the formula (see :meth:`Expr.skey`)."""
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class TrueF(PureFormula):
@@ -222,6 +329,9 @@ class TrueF(PureFormula):
 
     def substitute(self, subst: Mapping[str, Expr]) -> PureFormula:
         return self
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return _TRUE_KEY
 
 
 @dataclass(frozen=True)
@@ -237,6 +347,13 @@ class FalseF(PureFormula):
     def substitute(self, subst: Mapping[str, Expr]) -> PureFormula:
         return self
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return _FALSE_KEY
+
+
+_TRUE_KEY = ("true",)
+_FALSE_KEY = ("false",)
+
 
 @dataclass(frozen=True)
 class _BinRel(PureFormula):
@@ -246,6 +363,7 @@ class _BinRel(PureFormula):
     right: Expr
 
     _op = staticmethod(lambda a, b: False)  # overridden by subclasses
+    _tag = "rel"  # overridden by subclasses (structural-key tag)
 
     def eval(self, env: Mapping[str, int]) -> bool:
         return type(self)._op(self.left.eval(env), self.right.eval(env))
@@ -256,12 +374,16 @@ class _BinRel(PureFormula):
     def substitute(self, subst: Mapping[str, Expr]) -> PureFormula:
         return type(self)(self.left.substitute(subst), self.right.substitute(subst))
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return (type(self)._tag, self.left.skey(ren), self.right.skey(ren))
+
 
 @dataclass(frozen=True)
 class Eq(_BinRel):
     """Equality ``e1 = e2`` (also used for spatial expressions)."""
 
     _op = staticmethod(lambda a, b: a == b)
+    _tag = "="
 
 
 @dataclass(frozen=True)
@@ -269,6 +391,7 @@ class Ne(_BinRel):
     """Disequality ``e1 != e2``."""
 
     _op = staticmethod(lambda a, b: a != b)
+    _tag = "!="
 
 
 @dataclass(frozen=True)
@@ -276,6 +399,7 @@ class Lt(_BinRel):
     """Strict less-than ``e1 < e2``."""
 
     _op = staticmethod(lambda a, b: a < b)
+    _tag = "<"
 
 
 @dataclass(frozen=True)
@@ -283,6 +407,7 @@ class Le(_BinRel):
     """Less-than-or-equal ``e1 <= e2``."""
 
     _op = staticmethod(lambda a, b: a <= b)
+    _tag = "<="
 
 
 @dataclass(frozen=True)
@@ -290,6 +415,7 @@ class Gt(_BinRel):
     """Strict greater-than ``e1 > e2``."""
 
     _op = staticmethod(lambda a, b: a > b)
+    _tag = ">"
 
 
 @dataclass(frozen=True)
@@ -297,6 +423,7 @@ class Ge(_BinRel):
     """Greater-than-or-equal ``e1 >= e2``."""
 
     _op = staticmethod(lambda a, b: a >= b)
+    _tag = ">="
 
 
 @dataclass(frozen=True)
@@ -313,6 +440,9 @@ class Not(PureFormula):
 
     def substitute(self, subst: Mapping[str, Expr]) -> PureFormula:
         return Not(self.operand.substitute(subst))
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("not", self.operand.skey(ren))
 
 
 @dataclass(frozen=True)
@@ -336,6 +466,9 @@ class And(PureFormula):
     def substitute(self, subst: Mapping[str, Expr]) -> PureFormula:
         return And(part.substitute(subst) for part in self.parts)
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("and", *[part.skey(ren) for part in self.parts])
+
 
 @dataclass(frozen=True)
 class Or(PureFormula):
@@ -357,6 +490,9 @@ class Or(PureFormula):
 
     def substitute(self, subst: Mapping[str, Expr]) -> PureFormula:
         return Or(part.substitute(subst) for part in self.parts)
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("or", *[part.skey(ren) for part in self.parts])
 
 
 def conjoin(parts: Iterable[PureFormula]) -> PureFormula:

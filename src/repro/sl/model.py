@@ -33,6 +33,9 @@ class HeapCell:
         else:
             items = tuple(fields)
         object.__setattr__(self, "fields", items)
+        # The checker reads the value tuple on every points-to match
+        # attempt; materialize it once, eagerly.
+        object.__setattr__(self, "_values", tuple(value for _, value in items))
 
     @property
     def field_dict(self) -> dict[str, int]:
@@ -41,8 +44,14 @@ class HeapCell:
 
     @property
     def values(self) -> tuple[int, ...]:
-        """Field values in declaration order."""
-        return tuple(value for _, value in self.fields)
+        """Field values in declaration order (precomputed in ``__init__``)."""
+        try:
+            return self._values
+        except AttributeError:
+            # Unpickled from an older payload without the eager tuple.
+            cached = tuple(value for _, value in self.fields)
+            object.__setattr__(self, "_values", cached)
+            return cached
 
     @property
     def field_names(self) -> tuple[str, ...]:
@@ -60,11 +69,22 @@ class HeapCell:
 class Heap:
     """An immutable finite partial map from addresses to :class:`HeapCell`."""
 
-    __slots__ = ("_cells", "_hash")
+    __slots__ = ("_cells", "_hash", "_domain")
 
     def __init__(self, cells: Mapping[int, HeapCell] | None = None):
         self._cells: dict[int, HeapCell] = dict(cells) if cells else {}
         self._hash: int | None = None
+        self._domain: frozenset[int] | None = None
+
+    def __getstate__(self) -> dict[int, HeapCell]:
+        # Cached hash/domain are per-process (string hashing is salted);
+        # ship only the cells across pickle boundaries.
+        return self._cells
+
+    def __setstate__(self, state: dict[int, HeapCell]) -> None:
+        self._cells = state
+        self._hash = None
+        self._domain = None
 
     # -- mapping interface ----------------------------------------------------
 
@@ -101,8 +121,10 @@ class Heap:
     # -- queries --------------------------------------------------------------
 
     def domain(self) -> frozenset[int]:
-        """The set of allocated addresses ``dom(h)``."""
-        return frozenset(self._cells)
+        """The set of allocated addresses ``dom(h)`` (computed once)."""
+        if self._domain is None:
+            self._domain = frozenset(self._cells)
+        return self._domain
 
     def items(self) -> Iterable[tuple[int, HeapCell]]:
         """Iterate over ``(address, cell)`` pairs."""
@@ -206,28 +228,51 @@ class StackHeapModel:
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __getstate__(self) -> dict:
+        # Drop the per-process caches (salted hashes, derived dicts) so a
+        # pickled model re-derives them in the receiving interpreter.
+        state = dict(self.__dict__)
+        for cache in ("_hash", "_stack_map", "_types_map"):
+            state.pop(cache, None)
+        return state
+
     # -- stack access -----------------------------------------------------------
 
     @property
     def stack_dict(self) -> dict[str, int]:
-        """The stack as a dictionary (variable -> value)."""
+        """The stack as a fresh dictionary (variable -> value)."""
         return dict(self.stack)
 
     @property
     def type_dict(self) -> dict[str, str]:
-        """Variable typing as a dictionary (variable -> type name)."""
+        """Variable typing as a fresh dictionary (variable -> type name)."""
         return dict(self.var_types)
+
+    @property
+    def stack_map(self) -> dict[str, int]:
+        """The stack as a shared, cached dictionary.  Do not mutate."""
+        cached = self.__dict__.get("_stack_map")
+        if cached is None:
+            cached = dict(self.stack)
+            object.__setattr__(self, "_stack_map", cached)
+        return cached
+
+    @property
+    def types_map(self) -> dict[str, str]:
+        """Variable typing as a shared, cached dictionary.  Do not mutate."""
+        cached = self.__dict__.get("_types_map")
+        if cached is None:
+            cached = dict(self.var_types)
+            object.__setattr__(self, "_types_map", cached)
+        return cached
 
     def value_of(self, var: str) -> int:
         """Value of a stack variable."""
-        for name, value in self.stack:
-            if name == var:
-                return value
-        raise KeyError(var)
+        return self.stack_map[var]
 
     def has_var(self, var: str) -> bool:
         """True when the stack binds ``var``."""
-        return any(name == var for name, _ in self.stack)
+        return var in self.stack_map
 
     def pointer_vars(self) -> list[str]:
         """Stack variables with a pointer type (or untyped variables that hold addresses)."""

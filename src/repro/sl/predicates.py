@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.sl.errors import SLError, UnknownPredicateError
 from repro.sl.exprs import Expr, IntConst, Nil, Var
-from repro.sl.spatial import PointsTo, PredApp, Spatial, SymHeap, fresh_var
+from repro.sl.spatial import PointsTo, PredApp, SepConj, Spatial, SymHeap, fresh_var
 
 #: Upper bound on memoized case templates per predicate (the key space is
 #: tiny in practice: one entry per case and argument *shape*).
@@ -79,6 +79,8 @@ class InductivePredicate:
         # hashable and comparable on its definition alone.
         object.__setattr__(self, "_unfold_cache", {})
         object.__setattr__(self, "_unfold_stats", [0, 0])  # [hits, misses]
+        # Per-case screening metadata (built lazily; see repro.sl.screen).
+        object.__setattr__(self, "_case_screens", None)
 
     @property
     def arity(self) -> int:
@@ -96,11 +98,13 @@ class InductivePredicate:
         *shapes* (e.g. ``sll(?)`` with a single variable argument) thousands
         of times per inference run; only the variable names differ because
         they are generated fresh.  This caches the case body instantiated
-        with positional placeholder arguments and specializes it per call --
-        mapping placeholders to the actual argument expressions and alpha-
-        renaming the case-local existentials to globally fresh names -- in a
-        single substitution pass instead of the two passes (freshen, then
-        substitute) of :meth:`PredCase.instantiate`.
+        with positional placeholder arguments *compiled into closure
+        builders* (:func:`_compile_spatial` / :func:`_compile_pure`), and
+        specializes it per call: the builders construct the instantiated
+        body directly from a placeholder -> argument mapping, skipping the
+        generic ``substitute`` tree walk and the dataclass normalization
+        passes entirely.  Case-local existentials are alpha-renamed to
+        globally fresh names on every call.
 
         The per-call freshening is what keeps reuse sound: two unfoldings of
         the same case inside one search never share existential names, so a
@@ -110,25 +114,117 @@ class InductivePredicate:
         if key is None:
             self._unfold_stats[1] += 1
             return self.cases[index].instantiate(self.params, args)
-        template = self._unfold_cache.get((index, key))
-        if template is None:
+        entry = self._template_entry(index, key)
+        template, spatial_builder, pure_builder = entry[0], entry[1], entry[2]
+        # Placeholder -> actual argument mapping.  ``zip`` may also pair the
+        # "nil"/"int:k" tokens with their (constant) arguments; the compiled
+        # builders never look those up, so no filtering is needed.
+        mapping: dict[str, Expr] = dict(zip(key, args))
+        new_exists = []
+        for name in template.exists:
+            fresh = Var(fresh_var())
+            mapping[name] = fresh
+            new_exists.append(fresh.name)
+        result = object.__new__(SymHeap)
+        object.__setattr__(result, "exists", tuple(new_exists))
+        object.__setattr__(
+            result,
+            "spatial",
+            spatial_builder(mapping) if spatial_builder is not None else template.spatial,
+        )
+        object.__setattr__(
+            result,
+            "pure",
+            pure_builder(mapping) if pure_builder is not None else template.pure,
+        )
+        return result
+
+    def instantiate_case_goals(
+        self, index: int, args: Sequence[Expr], key: tuple[str, ...] | None
+    ) -> tuple[tuple[str, ...], list[Spatial], list]:
+        """Instantiate one case directly as search goals.
+
+        Returns ``(existentials, spatial atoms, pure conjuncts)`` -- the
+        exact inputs of the checker's ``_solve`` -- without materializing a
+        :class:`SymHeap` (or re-flattening it into atoms/conjuncts on every
+        unfolding).  ``key`` is the caller-computed
+        :func:`canonical_unfold_key` of ``args`` (callers unfolding several
+        cases share one key computation); ``None`` falls back to the
+        uncached instantiation.
+        """
+        if key is None:
+            self._unfold_stats[1] += 1
+            body = self.cases[index].instantiate(self.params, args)
+            return body.exists, list(body.spatial_atoms()), _flatten_pure(body.pure)
+        entry = self._template_entry(index, key)
+        template, atom_slots, conj_slots = entry[0], entry[3], entry[4]
+        mapping: dict[str, Expr] = dict(zip(key, args))
+        template_exists = template.exists
+        if template_exists:
+            new_exists = []
+            for name in template_exists:
+                fresh = Var(fresh_var())
+                mapping[name] = fresh
+                new_exists.append(fresh.name)
+            exists: tuple[str, ...] = tuple(new_exists)
+        else:
+            exists = ()
+        atoms = [
+            fn(mapping) if fn is not None else const for fn, const in atom_slots
+        ]
+        conjuncts = [
+            fn(mapping) if fn is not None else const for fn, const in conj_slots
+        ]
+        return exists, atoms, conjuncts
+
+    def _template_entry(self, index: int, key: tuple[str, ...]) -> tuple:
+        """The compiled unfolding template for one (case, argument shape).
+
+        Entries are ``(template, spatial builder, pure builder, atom slots,
+        conjunct slots)``; slots pair an optional builder closure with the
+        constant node it falls back to.
+        """
+        entry = self._unfold_cache.get((index, key))
+        if entry is None:
             self._unfold_stats[1] += 1
             placeholders = [_placeholder_expr(token) for token in key]
             template = self.cases[index].instantiate(self.params, placeholders)
+            known = {token for token in key if token.startswith("?a")}
+            known.update(template.exists)
+            atom_slots = tuple(
+                (_compile_spatial(atom, known), atom)
+                for atom in template.spatial.atoms()
+            )
+            conj_slots = tuple(
+                (_compile_pure(conjunct, known), conjunct)
+                for conjunct in _flatten_pure(template.pure)
+            )
+            entry = (
+                template,
+                _compile_spatial(template.spatial, known),
+                _compile_pure(template.pure, known),
+                atom_slots,
+                conj_slots,
+            )
             if len(self._unfold_cache) < _UNFOLD_CACHE_LIMIT:
-                self._unfold_cache[(index, key)] = template
+                self._unfold_cache[(index, key)] = entry
         else:
             self._unfold_stats[0] += 1
-        substitution: dict[str, Expr] = {
-            token: arg for token, arg in zip(key, args) if token.startswith("?a")
-        }
-        renaming = {name: Var(fresh_var()) for name in template.exists}
-        substitution.update(renaming)
-        return SymHeap(
-            tuple(renaming[name].name for name in template.exists),
-            template.spatial.substitute(substitution),
-            template.pure.substitute(substitution),
-        )
+        return entry
+
+    def case_screens(self):
+        """Per-case screening metadata (see :mod:`repro.sl.screen`).
+
+        Compiled once per definition and shared by the checker's case
+        pruning and the candidate pre-filter.
+        """
+        screens = self._case_screens
+        if screens is None:
+            from repro.sl.screen import build_case_screens
+
+            screens = build_case_screens(self.params, [case.body for case in self.cases])
+            object.__setattr__(self, "_case_screens", screens)
+        return screens
 
     def unfold_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of this predicate's unfolding memo."""
@@ -275,19 +371,44 @@ def _canonical_args(args: Sequence[Expr]) -> tuple[str, ...] | None:
     tokens: list[str] = []
     numbering: dict[str, str] = {}
     for arg in args:
-        if isinstance(arg, Var):
+        cls = arg.__class__
+        if cls is Var:
             token = numbering.get(arg.name)
             if token is None:
-                token = f"?a{len(numbering)}"
+                count = len(numbering)
+                token = _ARG_TOKENS[count] if count < len(_ARG_TOKENS) else f"?a{count}"
                 numbering[arg.name] = token
             tokens.append(token)
-        elif isinstance(arg, Nil):
+        elif cls is Nil:
             tokens.append("nil")
-        elif isinstance(arg, IntConst):
+        elif cls is IntConst:
             tokens.append(f"int:{arg.value}")
         else:
             return None
     return tuple(tokens)
+
+
+#: Pre-built placeholder tokens (predicate arities are small).
+_ARG_TOKENS = tuple(f"?a{index}" for index in range(16))
+
+#: Public alias: the canonical argument-shape key used by the unfolding
+#: caches.  The checker computes it once per predicate goal and shares it
+#: across the cases it unfolds.
+canonical_unfold_key = _canonical_args
+
+
+def _flatten_pure(pure) -> list:
+    """Top-level conjuncts of a pure formula (``TrueF`` contributes none)."""
+    from repro.sl.exprs import And, TrueF
+
+    if isinstance(pure, TrueF):
+        return []
+    if isinstance(pure, And):
+        result: list = []
+        for part in pure.parts:
+            result.extend(_flatten_pure(part))
+        return result
+    return [pure]
 
 
 def _placeholder_expr(token: str) -> Expr:
@@ -297,6 +418,181 @@ def _placeholder_expr(token: str) -> Expr:
     if token == "nil":
         return Nil()
     return IntConst(int(token.removeprefix("int:")))
+
+
+# ---------------------------------------------------------------------------
+# Template compilation
+# ---------------------------------------------------------------------------
+#
+# A cached unfolding template is specialized on every call with a mapping
+# from placeholder/existential names to actual expressions.  Instead of the
+# generic (and allocation-heavy) ``substitute`` tree walk, each template is
+# compiled once into nested closures that rebuild exactly the nodes that
+# mention substituted names; constant subtrees are shared with the template.
+# A compiler returns ``None`` when the whole subtree is constant.
+
+
+def _compile_expr(expr: Expr, known: set[str]):
+    """Compile an expression into ``fn(mapping) -> Expr`` (``None`` = constant)."""
+    from repro.sl.exprs import Add, Max, Mul, Neg, Sub
+
+    cls = expr.__class__
+    if cls is Var:
+        if expr.name in known:
+            name = expr.name
+            return lambda m: m[name]
+        return None
+    if cls is Nil or cls is IntConst:
+        return None
+    if cls is Neg:
+        operand = _compile_expr(expr.operand, known)
+        if operand is None:
+            return None
+        return lambda m: Neg(operand(m))
+    if cls is Mul:
+        operand = _compile_expr(expr.operand, known)
+        if operand is None:
+            return None
+        factor = expr.factor
+        return lambda m: Mul(factor, operand(m))
+    if cls in (Add, Sub, Max):
+        left = _compile_expr(expr.left, known)
+        right = _compile_expr(expr.right, known)
+        if left is None and right is None:
+            return None
+        left_const, right_const = expr.left, expr.right
+        if left is None:
+            return lambda m: cls(left_const, right(m))
+        if right is None:
+            return lambda m: cls(left(m), right_const)
+        return lambda m: cls(left(m), right(m))
+    # Unknown expression kind: fall back to the generic substitution.
+    return lambda m: expr.substitute(m)
+
+
+def _compile_args(args: Sequence[Expr], known: set[str]):
+    """Compile an argument tuple; ``None`` when every argument is constant.
+
+    Arities 1-4 (every benchsuite predicate) get unrolled builders so the
+    per-unfolding cost is a plain tuple display, not a generator pass.
+    """
+    compiled = [_compile_expr(arg, known) for arg in args]
+    if not any(fn is not None for fn in compiled):
+        return None
+    slots = [
+        fn if fn is not None else (lambda m, _c=arg: _c)
+        for fn, arg in zip(compiled, args)
+    ]
+    if len(slots) == 1:
+        (f0,) = slots
+        return lambda m: (f0(m),)
+    if len(slots) == 2:
+        f0, f1 = slots
+        return lambda m: (f0(m), f1(m))
+    if len(slots) == 3:
+        f0, f1, f2 = slots
+        return lambda m: (f0(m), f1(m), f2(m))
+    if len(slots) == 4:
+        f0, f1, f2, f3 = slots
+        return lambda m: (f0(m), f1(m), f2(m), f3(m))
+    frozen = tuple(slots)
+    return lambda m: tuple([fn(m) for fn in frozen])
+
+
+def _compile_spatial(spatial: Spatial, known: set[str]):
+    """Compile a spatial formula into ``fn(mapping) -> Spatial`` (``None`` = constant)."""
+    cls = spatial.__class__
+    if cls is PointsTo:
+        source = _compile_expr(spatial.source, known)
+        args = _compile_args(spatial.args, known)
+        if source is None and args is None:
+            return None
+        type_name = spatial.type_name
+        source_const, args_const = spatial.source, spatial.args
+
+        def build_pt(m):
+            atom = object.__new__(PointsTo)
+            object.__setattr__(atom, "source", source(m) if source else source_const)
+            object.__setattr__(atom, "type_name", type_name)
+            object.__setattr__(atom, "args", args(m) if args else args_const)
+            return atom
+
+        return build_pt
+    if cls is PredApp:
+        args = _compile_args(spatial.args, known)
+        if args is None:
+            return None
+        name = spatial.name
+
+        def build_app(m):
+            atom = object.__new__(PredApp)
+            object.__setattr__(atom, "name", name)
+            object.__setattr__(atom, "args", args(m))
+            return atom
+
+        return build_app
+    if isinstance(spatial, SepConj):
+        parts = [_compile_spatial(part, known) for part in spatial.parts]
+        if not any(fn is not None for fn in parts):
+            return None
+        slots = tuple(
+            fn if fn is not None else (lambda m, _c=part: _c)
+            for fn, part in zip(parts, spatial.parts)
+        )
+
+        def build_sep(m):
+            # The template's parts are already flat and Emp-free, so the
+            # dataclass flattening pass is safely bypassed.
+            conj = object.__new__(SepConj)
+            object.__setattr__(conj, "parts", tuple(fn(m) for fn in slots))
+            return conj
+
+        return build_sep
+    # Emp (and any unknown leaf) is constant.
+    return None
+
+
+def _compile_pure(pure, known: set[str]):
+    """Compile a pure formula into ``fn(mapping) -> PureFormula`` (``None`` = constant)."""
+    from repro.sl.exprs import And, Not, Or, _BinRel
+
+    cls = pure.__class__
+    if isinstance(pure, _BinRel):
+        left = _compile_expr(pure.left, known)
+        right = _compile_expr(pure.right, known)
+        if left is None and right is None:
+            return None
+        left_const, right_const = pure.left, pure.right
+
+        def build_rel(m):
+            rel = object.__new__(cls)
+            object.__setattr__(rel, "left", left(m) if left else left_const)
+            object.__setattr__(rel, "right", right(m) if right else right_const)
+            return rel
+
+        return build_rel
+    if cls is Not:
+        operand = _compile_pure(pure.operand, known)
+        if operand is None:
+            return None
+        return lambda m: Not(operand(m))
+    if cls in (And, Or):
+        parts = [_compile_pure(part, known) for part in pure.parts]
+        if not any(fn is not None for fn in parts):
+            return None
+        slots = tuple(
+            fn if fn is not None else (lambda m, _c=part: _c)
+            for fn, part in zip(parts, pure.parts)
+        )
+
+        def build_junction(m):
+            junction = object.__new__(cls)
+            object.__setattr__(junction, "parts", tuple(fn(m) for fn in slots))
+            return junction
+
+        return build_junction
+    # TrueF / FalseF (and any unknown leaf) are constant.
+    return None
 
 
 def predicate_complexity(predicate: InductivePredicate) -> Mapping[str, int]:

@@ -21,6 +21,9 @@ from repro.sl.exprs import Expr, PureFormula, TrueF, Var, conjoin
 
 _FRESH_COUNTER = itertools.count(1)
 
+#: Shared empty renaming for structural keys of closed formulae.
+_EMPTY_REN: dict[str, str] = {}
+
 
 def fresh_var(prefix: str = "_v") -> str:
     """Return a globally fresh variable name with the given prefix."""
@@ -47,6 +50,10 @@ class Spatial:
     def substitute(self, subst: Mapping[str, Expr]) -> "Spatial":
         raise NotImplementedError
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        """Structural key of the formula (see :meth:`repro.sl.exprs.Expr.skey`)."""
+        raise NotImplementedError
+
     def atoms(self) -> tuple["Spatial", ...]:
         """Flatten the formula into its list of ``*``-separated atoms."""
         return (self,)
@@ -62,8 +69,14 @@ class Emp(Spatial):
     def substitute(self, subst: Mapping[str, Expr]) -> Spatial:
         return self
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return _EMP_KEY
+
     def atoms(self) -> tuple[Spatial, ...]:
         return ()
+
+
+_EMP_KEY = ("emp",)
 
 
 @dataclass(frozen=True)
@@ -97,6 +110,14 @@ class PointsTo(Spatial):
             tuple(arg.substitute(subst) for arg in self.args),
         )
 
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return (
+            "pt",
+            self.source.skey(ren),
+            self.type_name,
+            *[arg.skey(ren) for arg in self.args],
+        )
+
 
 @dataclass(frozen=True)
 class PredApp(Spatial):
@@ -117,6 +138,9 @@ class PredApp(Spatial):
 
     def substitute(self, subst: Mapping[str, Expr]) -> Spatial:
         return PredApp(self.name, tuple(arg.substitute(subst) for arg in self.args))
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("app", self.name, *[arg.skey(ren) for arg in self.args])
 
 
 @dataclass(frozen=True)
@@ -144,6 +168,9 @@ class SepConj(Spatial):
 
     def substitute(self, subst: Mapping[str, Expr]) -> Spatial:
         return SepConj(part.substitute(subst) for part in self.parts)
+
+    def skey(self, ren: Mapping[str, str]) -> object:
+        return ("sep", *[part.skey(ren) for part in self.parts])
 
     def atoms(self) -> tuple[Spatial, ...]:
         result: list[Spatial] = []
@@ -208,6 +235,24 @@ class SymHeap:
     def spatial_atoms(self) -> tuple[Spatial, ...]:
         """The ``*``-separated spatial atoms of the formula."""
         return self.spatial.atoms()
+
+    def structural_key(self) -> tuple:
+        """Alpha-normalized structural identity of the formula.
+
+        Bound variables are renamed positionally to ``?e0, ?e1, ...`` (the
+        ``?`` prefix cannot appear in parsed names), so alpha-variants --
+        candidates that differ only in machine-generated existential names --
+        share one key.  The existential *count* is part of the key: two
+        formulae with identical bodies but different numbers of unused bound
+        variables must not collide, because cached checker instantiations
+        are rebound by position.  Building this tuple touches no strings
+        beyond the ones already interned in the AST, which is what makes it
+        cheap enough for the checker's memo table (no ``pretty()`` call).
+        """
+        if not self.exists:
+            return (0, self.spatial.skey(_EMPTY_REN), self.pure.skey(_EMPTY_REN))
+        ren = {name: f"?e{position}" for position, name in enumerate(self.exists)}
+        return (len(self.exists), self.spatial.skey(ren), self.pure.skey(ren))
 
     def is_emp(self) -> bool:
         """True when the spatial part is (equivalent to) ``emp``."""

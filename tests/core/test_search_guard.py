@@ -1,0 +1,103 @@
+"""Deterministic search-space guard for the candidate-screening pipeline.
+
+Timing-based performance tests flake; candidate counts do not.  Inference
+is deterministic per (benchmark, seed, config), so the number of Algorithm 2
+candidates that reach the model checker on a fixed sll/dll workload is an
+exact, machine-independent measure of the search space.  The committed
+baseline (``tests/data/search_guard_baseline.json``) pins it: a regression
+in the pre-filter, the case screens or the fail-fast ordering shows up here
+as a counter increase long before it shows up in wall time.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite.registry import get_benchmark
+from repro.core.sling import Sling, SlingConfig
+
+BASELINE_PATH = Path(__file__).parent.parent / "data" / "search_guard_baseline.json"
+
+#: The fixed guard workload (benchmark names, all run with seed 0).
+WORKLOAD = ("sll/insertFront", "sll/reverse", "dll/append", "dll/concat")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {name: counters for name, counters in data.items() if not name.startswith("_")}
+
+
+def run_workload(name: str) -> dict[str, int]:
+    benchmark = get_benchmark(name)
+    sling = Sling(
+        benchmark.program, benchmark.predicates, SlingConfig(discard_crashed_runs=True)
+    )
+    sling.infer_function(benchmark.function, benchmark.test_cases(0))
+    return sling.cache_stats()
+
+
+class TestSearchSpaceGuard:
+    @pytest.mark.parametrize("name", WORKLOAD)
+    def test_candidates_checked_does_not_regress(self, baseline, name):
+        stats = run_workload(name)
+        recorded = baseline[name]
+        assert stats["candidates_checked"] <= recorded["candidates_checked"], (
+            f"{name}: candidates checked grew from "
+            f"{recorded['candidates_checked']} to {stats['candidates_checked']} -- "
+            "the screening pipeline lets more candidates through than the "
+            "recorded baseline (see tests/data/search_guard_baseline.json)"
+        )
+
+    @pytest.mark.parametrize("name", WORKLOAD)
+    def test_prefilter_fires(self, baseline, name):
+        stats = run_workload(name)
+        assert stats["candidates_prefiltered"] > 0
+        assert (
+            stats["candidates_generated"]
+            == stats["candidates_prefiltered"] + stats["candidates_checked"]
+        )
+
+    def test_counters_exposed_in_cache_stats(self):
+        stats = run_workload("sll/insertFront")
+        for key in (
+            "checker_hits",
+            "checker_misses",
+            "unfold_hits",
+            "unfold_misses",
+            "atom_cache_hits",
+            "atom_cache_misses",
+            "candidates_generated",
+            "candidates_prefiltered",
+            "candidates_checked",
+            "refuted_by_first_model",
+            "pruned_cases",
+            "max_trail_depth",
+        ):
+            assert key in stats, f"cache_stats() lost the {key!r} counter"
+
+
+class TestScreeningNeverChangesResults:
+    """The whole fail-fast pipeline is a pure optimisation."""
+
+    @pytest.mark.parametrize("name", ("sll/reverse", "dll/append"))
+    def test_invariants_identical_with_screening_off(self, name):
+        benchmark = get_benchmark(name)
+
+        def invariants(config: SlingConfig) -> list[str]:
+            sling = Sling(benchmark.program, benchmark.predicates, config)
+            spec = sling.infer_function(benchmark.function, benchmark.test_cases(0))
+            return [invariant.pretty() for invariant in spec.all_invariants()]
+
+        screened = invariants(SlingConfig(discard_crashed_runs=True))
+        unscreened = invariants(
+            SlingConfig(
+                discard_crashed_runs=True,
+                screen_candidates=False,
+                checker_fail_fast=False,
+                checker_prune_cases=False,
+            )
+        )
+        assert screened == unscreened

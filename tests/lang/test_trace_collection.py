@@ -1,0 +1,54 @@
+"""``TraceCollection.without_crashed_runs``: filtering without mutation."""
+
+from repro.lang.tracer import Location, RunOutcome, TraceCollection, TraceEvent
+from repro.sl.model import Heap, StackHeapModel
+
+
+def _event(tag: int) -> TraceEvent:
+    return TraceEvent(
+        location=Location("f", "entry"),
+        model=StackHeapModel({"x": tag}, Heap()),
+    )
+
+
+def _collection() -> TraceCollection:
+    good_run = [_event(1), _event(2)]
+    crashed_run = [_event(3)]
+    return TraceCollection(
+        events=[*good_run, *crashed_run],
+        outcomes=[RunOutcome(crashed=False), RunOutcome(crashed=True)],
+        runs=[good_run, crashed_run],
+    )
+
+
+class TestWithoutCrashedRuns:
+    def test_filters_crashed_events(self):
+        filtered = _collection().without_crashed_runs()
+        assert filtered.total_models() == 2
+        assert filtered.runs[1] == []  # slot kept, events dropped
+        assert len(filtered.runs) == len(filtered.outcomes) == 2
+
+    def test_original_collection_is_untouched(self):
+        collection = _collection()
+        events_before = list(collection.events)
+        runs_before = [list(run) for run in collection.runs]
+        collection.without_crashed_runs()
+        assert collection.events == events_before
+        assert [list(run) for run in collection.runs] == runs_before
+
+    def test_copy_owns_its_lists(self):
+        collection = _collection()
+        filtered = collection.without_crashed_runs()
+        filtered.events.append(_event(9))
+        filtered.runs[0].append(_event(9))
+        assert len(collection.events) == 3
+        assert len(collection.runs[0]) == 2
+
+    def test_no_crashes_is_identity_in_content(self):
+        run = [_event(1)]
+        collection = TraceCollection(
+            events=list(run), outcomes=[RunOutcome(crashed=False)], runs=[run]
+        )
+        filtered = collection.without_crashed_runs()
+        assert filtered.events == collection.events
+        assert filtered.runs == collection.runs
