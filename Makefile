@@ -3,10 +3,13 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-smoke docs table1 table2
+.PHONY: check test smoke bench bench-smoke bench-smoke-engine bench-compare docs table1 table2
 
-# Tier-1 gate: the full test suite plus a CLI smoke test, one command.
-check: test smoke
+# Tier-1 gate: the full test suite (which includes the deterministic
+# search-space guard), a CLI smoke test, a small engine bench and the full
+# engine bench gated against the committed trajectory -- one command.
+# (bench-smoke-engine, not bench-smoke: `test` already ran the guard.)
+check: test smoke bench-smoke-engine bench-compare
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -22,14 +25,35 @@ bench:
 # Quick performance gate: the deterministic search-space guard (exact
 # candidate counts, no timing flakiness) plus a two-programs-per-category
 # engine bench as an end-to-end smoke.  Timing comparisons against the
-# committed trajectory need the full sweep: run
-#   benchmarks/bench_engine.py --compare benchmarks/BENCH_engine.json
-# (a --limit run is not comparable to the full-sweep baseline).
+# committed trajectory need the full sweep: see bench-compare (a --limit
+# run is not comparable to the full-sweep baseline).
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/core/test_search_guard.py -q
+	$(MAKE) bench-smoke-engine
+
+bench-smoke-engine:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --jobs 2 --limit 2 \
 		--quiet --out /tmp/bench_smoke.json
 	@echo "bench smoke OK (report: /tmp/bench_smoke.json)"
+
+# Full-sweep regression gate, two checks in one run:
+#  * --assert-accel 1.3 -- the tight, machine- and load-independent gate:
+#    the accelerated and unaccelerated sequential sweeps run back to back in
+#    the same process, so their ratio is immune to co-tenant load and
+#    hardware speed.  A drop below 1.3x means the batching/screening
+#    pipeline itself regressed.
+#  * --compare (threshold 0.60) -- the absolute wall-time trajectory against
+#    the committed benchmarks/BENCH_engine.json, loosened because the
+#    committed baseline is an idle-box measurement and shared machines swing
+#    well past the default 20%; it still catches catastrophic slowdowns.
+# The report goes to /tmp so CI never touches the committed baseline;
+# refresh the baseline deliberately (PYTHONPATH=src python
+# benchmarks/bench_engine.py --jobs 4) on an idle machine.
+bench-compare:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --jobs 4 --quiet \
+		--compare benchmarks/BENCH_engine.json --compare-threshold 0.60 \
+		--assert-accel 1.3 --out /tmp/bench_compare.json
+	@echo "bench compare OK (report: /tmp/bench_compare.json)"
 
 docs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro docs

@@ -96,6 +96,14 @@ class CacheStats:
     refuted_by_first_model: int = 0
     pruned_cases: int = 0
     max_trail_depth: int = 0
+    # Skeleton-batching counters (``ModelChecker.check_batch``): groups
+    # formed, skeleton searches run, env-stream memo reuses, compiled
+    # pure-variant evaluations, exact-search fallbacks.
+    candidate_groups: int = 0
+    skeletons_solved: int = 0
+    env_stream_reuses: int = 0
+    pure_variant_evals: int = 0
+    batch_exact_fallbacks: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another job's counters into this one."""
@@ -108,6 +116,11 @@ class CacheStats:
         self.candidates_checked += other.candidates_checked
         self.refuted_by_first_model += other.refuted_by_first_model
         self.pruned_cases += other.pruned_cases
+        self.candidate_groups += other.candidate_groups
+        self.skeletons_solved += other.skeletons_solved
+        self.env_stream_reuses += other.env_stream_reuses
+        self.pure_variant_evals += other.pure_variant_evals
+        self.batch_exact_fallbacks += other.batch_exact_fallbacks
         # A depth, not a volume: the batch-wide value is the deepest job.
         if other.max_trail_depth > self.max_trail_depth:
             self.max_trail_depth = other.max_trail_depth
@@ -128,6 +141,12 @@ class CacheStats:
         total = self.candidates_generated
         return self.candidates_prefiltered / total if total else 0.0
 
+    @property
+    def stream_reuse_rate(self) -> float:
+        """Fraction of skeleton-stream requests served from the memo."""
+        total = self.skeletons_solved + self.env_stream_reuses
+        return self.env_stream_reuses / total if total else 0.0
+
     def as_dict(self) -> dict[str, float]:
         return {
             "checker_hits": self.checker_hits,
@@ -143,6 +162,12 @@ class CacheStats:
             "refuted_by_first_model": self.refuted_by_first_model,
             "pruned_cases": self.pruned_cases,
             "max_trail_depth": self.max_trail_depth,
+            "candidate_groups": self.candidate_groups,
+            "skeletons_solved": self.skeletons_solved,
+            "env_stream_reuses": self.env_stream_reuses,
+            "stream_reuse_rate": round(self.stream_reuse_rate, 4),
+            "pure_variant_evals": self.pure_variant_evals,
+            "batch_exact_fallbacks": self.batch_exact_fallbacks,
         }
 
 
@@ -274,6 +299,11 @@ def _dispatch(job: EngineJob) -> tuple[object, CacheStats]:
             refuted_by_first_model=result.refuted_by_first_model,
             pruned_cases=result.pruned_cases,
             max_trail_depth=result.max_trail_depth,
+            candidate_groups=result.candidate_groups,
+            skeletons_solved=result.skeletons_solved,
+            env_stream_reuses=result.env_stream_reuses,
+            pure_variant_evals=result.pure_variant_evals,
+            batch_exact_fallbacks=result.batch_exact_fallbacks,
         )
         return result, cache
 
@@ -322,6 +352,11 @@ def collect_cache_stats(sling, unfold_before: dict[str, int] | None = None) -> C
         refuted_by_first_model=stats["refuted_by_first_model"],
         pruned_cases=stats["pruned_cases"],
         max_trail_depth=stats["max_trail_depth"],
+        candidate_groups=stats["candidate_groups"],
+        skeletons_solved=stats["skeletons_solved"],
+        env_stream_reuses=stats["env_stream_reuses"],
+        pure_variant_evals=stats["pure_variant_evals"],
+        batch_exact_fallbacks=stats["batch_exact_fallbacks"],
     )
 
 
@@ -482,21 +517,32 @@ def benchmark_engine(
 ) -> dict:
     """Measure sequential vs. parallel wall time and cache effectiveness.
 
-    Three sweeps over the (optionally restricted) Table 1 suite:
+    Up to three sweeps over the (optionally restricted) Table 1 suite:
 
-    1. sequential with all caches enabled (this cold sweep also pays the
-       one-time registry import and unfold-template warm-up, so the
-       speedups below are conservative, not inflated),
-    2. sequential with the checker memo disabled (the pre-engine baseline;
-       the unfolding caches on the shared predicate registries stay warm
+    1. sequential with every checker acceleration enabled (this cold sweep
+       also pays the one-time registry import and unfold-template warm-up,
+       so the speedups below are conservative, not inflated),
+    2. sequential with the checker accelerations disabled -- skeleton
+       batching off and the per-formula memo off -- the pre-engine baseline
+       (the unfolding caches on the shared predicate registries stay warm
        across sweeps and cannot be disabled),
-    3. parallel with ``jobs`` workers and all caches enabled,
+    3. parallel with ``jobs`` workers and all accelerations enabled.
 
-    returning a JSON-serializable report with wall times, speedups and
-    cache hit rates.  The per-program invariants of the parallel sweep are
-    compared with the sequential cached sweep; a mismatch raises
-    :class:`EngineError` (the engine's determinism guarantee is asserted,
-    not merely reported).
+    The parallel *timing* is only reported when it can mean anything: with
+    ``jobs <= 1`` the sweep is skipped outright (``parallel_skipped``
+    explains why), and on a single available CPU the sweep still runs --
+    the full-suite parallel-determinism assertion must not silently
+    disappear on 1-CPU CI boxes -- but ``wall_seconds.parallel`` and the
+    parallel speedups are reported as ``None`` with ``parallel_note``
+    explaining that a "speedup" there would only measure fork overhead
+    (``--compare`` only reads the sequential wall time, so its semantics
+    are unchanged either way).
+
+    Returns a JSON-serializable report with wall times, speedups and cache
+    hit rates.  The per-program invariants of every sweep are compared with
+    the first; a mismatch raises :class:`EngineError` (the checker
+    accelerations' result-identity and the engine's determinism guarantee
+    are asserted, not merely reported).
     """
     from repro.evaluation.table1 import run_table1
 
@@ -515,36 +561,59 @@ def benchmark_engine(
         )
         return time.perf_counter() - start, result
 
-    uncached_config = SlingConfig(discard_crashed_runs=True, checker_cache_size=0)
+    uncached_config = SlingConfig(
+        discard_crashed_runs=True, checker_cache_size=0, batch_by_skeleton=False
+    )
+    available_cpus = multiprocessing.cpu_count()
+    parallel_skipped: str | None = None
+    parallel_note: str | None = None
+    if jobs <= 1:
+        parallel_skipped = "parallel sweep skipped: jobs <= 1"
+    elif available_cpus <= 1:
+        parallel_note = (
+            "single available CPU: parallel wall time not reported (a speedup "
+            "here would only measure fork overhead); the sweep still ran to "
+            "assert the engine's parallel determinism"
+        )
+    total_sweeps = 2 if parallel_skipped else 3
 
-    say("sweep 1/3: sequential, caches enabled")
+    say(f"sweep 1/{total_sweeps}: sequential, checker accelerations enabled")
     sequential_seconds, sequential_result = sweep(None, 1)
-    say("sweep 2/3: sequential, checker cache disabled")
+    say(f"sweep 2/{total_sweeps}: sequential, batching and checker cache disabled")
     nocache_seconds, nocache_result = sweep(uncached_config, 1)
-    say(f"sweep 3/3: parallel with {jobs} workers, caches enabled")
-    parallel_seconds, parallel_result = sweep(None, jobs)
+    parallel_seconds = None
+    parallel_result = None
+    if parallel_skipped is None:
+        say(f"sweep 3/3: parallel with {jobs} workers, accelerations enabled")
+        parallel_seconds, parallel_result = sweep(None, jobs)
+        if parallel_note is not None:
+            parallel_seconds = None
+    else:
+        say(parallel_skipped)
 
     sequential_fingerprints = table1_fingerprints(sequential_result)
     if sequential_fingerprints != table1_fingerprints(nocache_result):
         raise EngineError(
-            "cached sweep diverged from the uncached baseline; "
-            "the checker memo is changing results"
+            "accelerated sweep diverged from the unaccelerated baseline; "
+            "skeleton batching or the checker memo is changing results"
         )
-    deterministic = sequential_fingerprints == table1_fingerprints(parallel_result)
-    if not deterministic:
-        raise EngineError(
-            f"parallel sweep (jobs={jobs}) diverged from the sequential results; "
-            "the engine's determinism guarantee is broken"
-        )
+    deterministic = None
+    if parallel_result is not None:
+        deterministic = sequential_fingerprints == table1_fingerprints(parallel_result)
+        if not deterministic:
+            raise EngineError(
+                f"parallel sweep (jobs={jobs}) diverged from the sequential results; "
+                "the engine's determinism guarantee is broken"
+            )
     cache = sequential_result.cache_totals()
 
-    return {
+    report = {
         "benchmarks": sum(row.program_count for row in sequential_result.rows),
         "jobs": jobs,
         "wall_seconds": {
             "sequential_nocache": round(nocache_seconds, 3),
             "sequential": round(sequential_seconds, 3),
-            "parallel": round(parallel_seconds, 3),
+            "parallel": round(parallel_seconds, 3) if parallel_seconds else None,
         },
         "speedup": {
             "cache": round(nocache_seconds / sequential_seconds, 3)
@@ -559,8 +628,13 @@ def benchmark_engine(
         },
         "cache": cache.as_dict(),
         "deterministic": deterministic,
-        "available_cpus": multiprocessing.cpu_count(),
+        "available_cpus": available_cpus,
     }
+    if parallel_skipped is not None:
+        report["parallel_skipped"] = parallel_skipped
+    if parallel_note is not None:
+        report["parallel_note"] = parallel_note
+    return report
 
 
 def table1_fingerprints(result) -> list[tuple]:

@@ -20,16 +20,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.core.boundary import NIL_NAME
 from repro.core.results import AtomResult
 from repro.lang.types import StructRegistry, is_pointer_type
-from repro.sl.checker import ModelChecker
+from repro.sl.checker import BATCH_VACUOUS, ModelChecker, PureVariant, build_skeleton
 from repro.sl.exprs import Expr, Nil, Var
 from repro.sl.model import StackHeapModel
 from repro.sl.predicates import InductivePredicate, PredicateRegistry
-from repro.sl.screen import ModelFacts, candidate_refuted
+from repro.sl.screen import ModelFacts, screen_candidates
 from repro.sl.spatial import PointsTo, PredApp, SymHeap, fresh_vars
 
 
@@ -51,6 +51,34 @@ class InferAtomConfig:
     #: Semantically pre-filter candidates against per-model facts before any
     #: checker call (never changes results; see :mod:`repro.sl.screen`).
     screen_candidates: bool = True
+    #: Group candidates by spatial skeleton and decide each group through
+    #: ``ModelChecker.check_batch`` -- one shared search per (skeleton,
+    #: model) instead of one per candidate (never changes results; see
+    #: ``docs/performance.md``).
+    batch_by_skeleton: bool = True
+
+
+class Candidate(NamedTuple):
+    """One enumerated argument permutation (before screening/grouping)."""
+
+    permutation: tuple[str, ...]
+    #: The fresh existential names of the permutation's enumeration pool.
+    fresh: set[str]
+
+
+@dataclass(frozen=True)
+class CandidateGroup:
+    """All surviving candidates that share one spatial skeleton.
+
+    The skeleton is determined by (predicate, root position); every member
+    differs from it only by pure slot equalities (its :class:`PureVariant`).
+    ``indices`` maps each variant back to its enumeration position so
+    results are assembled in the original candidate order.
+    """
+
+    skeleton: SymHeap
+    variants: tuple[PureVariant, ...]
+    indices: tuple[int, ...]
 
 
 def infer_atoms(
@@ -119,7 +147,24 @@ def _infer_inductive(
     facts: Sequence[ModelFacts] | None,
     config: InferAtomConfig,
 ) -> list[AtomResult]:
-    """Enumerate, pre-filter and check argument permutations of one predicate."""
+    """Enumerate, screen, group and batch-check one predicate's candidates.
+
+    The pipeline has four phases, all order-stable with respect to the
+    original one-candidate-at-a-time loop (results are identical and appear
+    in the same order):
+
+    1. enumerate argument permutations (type filter, signature dedup,
+       admission cap);
+    2. screen the whole batch against the per-model facts
+       (:func:`repro.sl.screen.screen_candidates` -- a pure optimisation);
+    3. group survivors by spatial skeleton -- one :class:`CandidateGroup`
+       per (predicate, root position) with the pure slot deltas attached --
+       and decide each group with ``checker.check_batch``, which runs the
+       heap-matching search once per (skeleton, model) instead of once per
+       candidate;
+    4. assemble accepted candidates into :class:`AtomResult`\\ s in
+       enumeration order.
+    """
     arity = predicate.arity
     results: list[AtomResult] = []
     candidates_seen = 0
@@ -128,9 +173,16 @@ def _infer_inductive(
     stats = checker.screen_stats
     models_list = list(sub_models)
 
+    # -- phase 1: enumeration -------------------------------------------------
+    enumerated: list[Candidate] = []
     seen_signatures: set[tuple] = set()
+    capped = False
     for subset_size in range(1, max_subset + 1):
+        if capped:
+            break
         for extra in itertools.combinations(others, subset_size - 1):
+            if capped:
+                break
             subset = (root, *extra)
             fresh = fresh_vars(arity - subset_size, prefix="u")
             fresh_set = set(fresh)
@@ -154,41 +206,115 @@ def _infer_inductive(
                 # search would have cut off.
                 candidates_seen += 1
                 if candidates_seen > config.max_candidates_per_pred:
-                    return results
+                    capped = True
+                    break
                 stats.candidates_generated += 1
-                if facts is not None and candidate_refuted(
-                    predicate,
-                    permutation,
-                    fresh_set,
-                    facts,
-                    checker.registry,
-                    drop_vacuous=not config.keep_vacuous,
-                ):
-                    stats.candidates_prefiltered += 1
-                    continue
-                used_fresh = tuple(name for name in permutation if name in fresh_set)
-                formula = SymHeap(
-                    exists=used_fresh,
-                    spatial=PredApp(predicate.name, [_to_expr(name) for name in permutation]),
-                )
-                stats.candidates_checked += 1
-                check = checker.check_all(models_list, formula)
-                if check is None:
-                    continue
-                if not config.keep_vacuous and all(not result.consumed for result in check):
-                    continue
-                results.append(
-                    AtomResult(
-                        atom=formula.spatial,
-                        exists=used_fresh,
-                        residual_models=tuple(
-                            model.with_heap(result.residual)
-                            for model, result in zip(sub_models, check)
-                        ),
-                        instantiations=tuple(result.instantiation for result in check),
-                    )
-                )
+                enumerated.append(Candidate(permutation, fresh_set))
+
+    # -- phase 2: whole-group screening ---------------------------------------
+    if facts is not None:
+        survivors = screen_candidates(
+            predicate,
+            enumerated,
+            facts,
+            checker.registry,
+            drop_vacuous=not config.keep_vacuous,
+            stats=stats,
+        )
+    else:
+        survivors = enumerated
+    if not survivors:
+        return results
+    prepared = []
+    for candidate in survivors:
+        used_fresh = tuple(name for name in candidate.permutation if name in candidate.fresh)
+        formula = SymHeap(
+            exists=used_fresh,
+            spatial=PredApp(
+                predicate.name, [_to_expr(name) for name in candidate.permutation]
+            ),
+        )
+        prepared.append((candidate, used_fresh, formula))
+    stats.candidates_checked += len(prepared)
+
+    # -- phase 3: skeleton-batched checking -----------------------------------
+    drop_vacuous = not config.keep_vacuous
+    if config.batch_by_skeleton and checker.batch_by_skeleton and models_list:
+        outcomes: list = [None] * len(prepared)
+        for group in _group_by_skeleton(prepared, predicate, root):
+            stats.candidate_groups += 1
+            group_outcomes = checker.check_batch(
+                models_list, group.skeleton, group.variants, drop_vacuous=drop_vacuous
+            )
+            for index, outcome in zip(group.indices, group_outcomes):
+                outcomes[index] = outcome
+    else:
+        outcomes = [
+            checker.check_all(models_list, formula) for _, _, formula in prepared
+        ]
+
+    # -- phase 4: assembly (enumeration order) --------------------------------
+    for (candidate, used_fresh, formula), check in zip(prepared, outcomes):
+        if check is None or check is BATCH_VACUOUS:
+            continue
+        if drop_vacuous and all(not result.consumed for result in check):
+            continue
+        results.append(
+            AtomResult(
+                atom=formula.spatial,
+                exists=used_fresh,
+                residual_models=tuple(
+                    model.with_heap(result.residual)
+                    for model, result in zip(sub_models, check)
+                ),
+                instantiations=tuple(result.instantiation for result in check),
+            )
+        )
     return results
+
+
+def _group_by_skeleton(
+    prepared: Sequence[tuple], predicate: InductivePredicate, root: str
+) -> list[CandidateGroup]:
+    """Partition surviving candidates into one group per spatial skeleton."""
+    by_position: dict[int, list[int]] = {}
+    for index, (candidate, _, _) in enumerate(prepared):
+        by_position.setdefault(candidate.permutation.index(root), []).append(index)
+    groups: list[CandidateGroup] = []
+    for position, indices in by_position.items():
+        skeleton = build_skeleton(predicate.name, predicate.arity, root, position)
+        variants = tuple(
+            _candidate_variant(prepared[index][0], prepared[index][2], position)
+            for index in indices
+        )
+        groups.append(
+            CandidateGroup(skeleton=skeleton, variants=variants, indices=tuple(indices))
+        )
+    return groups
+
+
+def _candidate_variant(
+    candidate: Candidate, formula: SymHeap, root_position: int
+) -> PureVariant:
+    """Express one candidate as pure slot deltas over its group's skeleton."""
+    var_slots: list[tuple[int, str]] = []
+    nil_slots: list[int] = []
+    free_slots: list[tuple[int, str]] = []
+    for position, name in enumerate(candidate.permutation):
+        if position == root_position:
+            continue
+        if name in candidate.fresh:
+            free_slots.append((position, name))
+        elif name == NIL_NAME:
+            nil_slots.append(position)
+        else:
+            var_slots.append((position, name))
+    return PureVariant(
+        formula=formula,
+        var_slots=tuple(var_slots),
+        nil_slots=tuple(nil_slots),
+        free_slots=tuple(free_slots),
+    )
 
 
 def _type_consistent(

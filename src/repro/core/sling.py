@@ -60,8 +60,15 @@ class SlingConfig:
     max_candidates_per_pred: int = 4000
     #: Step budget of the symbolic-heap model checker per reduction.
     checker_max_steps: int = 50_000
-    #: Capacity of the checker's reduction memo table (0 disables it).
-    checker_cache_size: int = 65_536
+    #: Capacity of the checker's per-formula reduction memo (0 disables it).
+    #: ``None`` is adaptive: off while ``batch_by_skeleton`` is on (the
+    #: skeleton streams already share the search, and the per-formula memo
+    #: measured as a net loss on the batched pipeline), 65,536 otherwise.
+    checker_cache_size: int | None = None
+    #: Group candidates by spatial skeleton and decide each group through
+    #: one shared search per (skeleton, model) -- ``ModelChecker.check_batch``
+    #: (see ``docs/performance.md``; never changes results).
+    batch_by_skeleton: bool = True
     #: Semantically pre-filter candidates before any checker call (see
     #: ``docs/performance.md``; never changes results).
     screen_candidates: bool = True
@@ -91,6 +98,7 @@ class SlingConfig:
             max_results=self.max_results_per_var,
             keep_vacuous=self.keep_vacuous,
             screen_candidates=self.screen_candidates,
+            batch_by_skeleton=self.batch_by_skeleton,
         )
 
     def interpreter_config(self) -> InterpreterConfig:
@@ -116,6 +124,7 @@ class Sling:
             cache_size=self.config.checker_cache_size,
             fail_fast=self.config.checker_fail_fast,
             prune_cases=self.config.checker_prune_cases,
+            batch_by_skeleton=self.config.batch_by_skeleton,
         )
         # Hit/miss counters of the per-inference (variable, models) memo that
         # shares Algorithm 2 runs among result branches.

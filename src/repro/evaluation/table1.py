@@ -63,6 +63,12 @@ class ProgramResult:
     refuted_by_first_model: int = 0
     pruned_cases: int = 0
     max_trail_depth: int = 0
+    # Skeleton-batching counters (see ``ModelChecker.check_batch``).
+    candidate_groups: int = 0
+    skeletons_solved: int = 0
+    env_stream_reuses: int = 0
+    pure_variant_evals: int = 0
+    batch_exact_fallbacks: int = 0
 
     def as_dict(self, include_invariants: bool = False) -> dict:
         """JSON-serializable view (used by ``python -m repro table1 --json``)."""
@@ -88,6 +94,11 @@ class ProgramResult:
             "refuted_by_first_model": self.refuted_by_first_model,
             "pruned_cases": self.pruned_cases,
             "max_trail_depth": self.max_trail_depth,
+            "candidate_groups": self.candidate_groups,
+            "skeletons_solved": self.skeletons_solved,
+            "env_stream_reuses": self.env_stream_reuses,
+            "pure_variant_evals": self.pure_variant_evals,
+            "batch_exact_fallbacks": self.batch_exact_fallbacks,
         }
         if include_invariants and self.specification is not None:
             data["inferred"] = [
@@ -139,6 +150,10 @@ class CategoryRow:
     @property
     def candidates_prefiltered(self) -> int:
         return sum(result.candidates_prefiltered for result in self.programs)
+
+    @property
+    def candidate_groups(self) -> int:
+        return sum(result.candidate_groups for result in self.programs)
 
     @property
     def a_s_x(self) -> tuple[int, int, int]:
@@ -200,6 +215,11 @@ class Table1Result:
                         refuted_by_first_model=program.refuted_by_first_model,
                         pruned_cases=program.pruned_cases,
                         max_trail_depth=program.max_trail_depth,
+                        candidate_groups=program.candidate_groups,
+                        skeletons_solved=program.skeletons_solved,
+                        env_stream_reuses=program.env_stream_reuses,
+                        pure_variant_evals=program.pure_variant_evals,
+                        batch_exact_fallbacks=program.batch_exact_fallbacks,
                     )
                 )
         return totals
@@ -279,6 +299,11 @@ def evaluate_program(
         refuted_by_first_model=cache.refuted_by_first_model,
         pruned_cases=cache.pruned_cases,
         max_trail_depth=cache.max_trail_depth,
+        candidate_groups=cache.candidate_groups,
+        skeletons_solved=cache.skeletons_solved,
+        env_stream_reuses=cache.env_stream_reuses,
+        pure_variant_evals=cache.pure_variant_evals,
+        batch_exact_fallbacks=cache.batch_exact_fallbacks,
     )
 
 
@@ -321,13 +346,14 @@ def format_table1(result: Table1Result) -> str:
     """Render Table 1 in the paper's column layout.
 
     The ``Cand`` column is the number of Algorithm 2 candidates that reached
-    the model checker (the pre-filter's survivors) -- the engine's
-    search-space metric.
+    the model checker (the pre-filter's survivors); ``Grp`` is the number of
+    spatial-skeleton groups they collapsed into (``check_batch`` runs one
+    shared search per group and model) -- the engine's search-space metrics.
     """
     header = (
         f"{'Category':34s} {'Progs':>5s} {'LoC':>5s} {'iLocs':>5s} {'Traces':>7s} "
         f"{'Invs':>10s} {'A/S/X':>8s} {'Time(s)':>8s} {'Single':>7s} {'Pred':>6s} {'Pure':>6s} "
-        f"{'Cand':>6s}"
+        f"{'Cand':>6s} {'Grp':>6s}"
     )
     lines = [header, "-" * len(header)]
     for row in result.rows:
@@ -337,7 +363,7 @@ def format_table1(result: Table1Result) -> str:
             f"{row.category:34s} {row.program_count:5d} {row.loc:5d} {row.locations:5d} "
             f"{row.traces:7d} {invariants:>10s} {f'{a}/{s}/{x}':>8s} {row.seconds:8.2f} "
             f"{row.avg_singletons:7.2f} {row.avg_inductives:6.2f} {row.avg_pures:6.2f} "
-            f"{row.candidates_checked:6d}"
+            f"{row.candidates_checked:6d} {row.candidate_groups:6d}"
         )
     totals = result.totals()
     cache = result.cache_totals()
@@ -346,7 +372,7 @@ def format_table1(result: Table1Result) -> str:
     lines.append(
         f"{'Total':34s} {totals['programs']:5.0f} {totals['loc']:5.0f} {totals['locations']:5.0f} "
         f"{totals['traces']:7.0f} {total_invariants:>10s} {'':>8s} {totals['seconds']:8.2f} "
-        f"{'':7s} {'':6s} {'':6s} {cache.candidates_checked:6d}"
+        f"{'':7s} {'':6s} {'':6s} {cache.candidates_checked:6d} {cache.candidate_groups:6d}"
     )
     return "\n".join(lines)
 

@@ -46,9 +46,11 @@ class BenchmarkComparison:
     category: str
     outcomes: list[PropertyOutcome] = field(default_factory=list)
     #: Algorithm 2 candidates the SLING run behind this comparison checked
-    #: (feeds the ``Cand`` column; the full counter set travels on the
-    #: engine report's ``CacheStats``).
+    #: and the skeleton groups they collapsed into (feed the ``Cand``/``Grp``
+    #: columns; the full counter set travels on the engine report's
+    #: ``CacheStats``).
     candidates_checked: int = 0
+    candidate_groups: int = 0
 
 
 @dataclass
@@ -61,8 +63,10 @@ class Table2Row:
     s2_only: int = 0
     sling_only: int = 0
     neither: int = 0
-    #: Algorithm 2 candidates the SLING runs of this row actually checked.
+    #: Algorithm 2 candidates the SLING runs of this row actually checked,
+    #: and the skeleton groups ``check_batch`` decided them through.
     candidates_checked: int = 0
+    candidate_groups: int = 0
 
     def add(self, sling_found: bool, s2_found: bool) -> None:
         self.total += 1
@@ -86,6 +90,7 @@ class Table2Row:
             "sling_only": self.sling_only,
             "neither": self.neither,
             "candidates_checked": self.candidates_checked,
+            "candidate_groups": self.candidate_groups,
         }
 
 
@@ -104,6 +109,7 @@ class Table2Result:
             total.sling_only += row.sling_only
             total.neither += row.neither
             total.candidates_checked += row.candidates_checked
+            total.candidate_groups += row.candidate_groups
         return total
 
     def as_dict(self) -> dict[str, object]:
@@ -142,6 +148,7 @@ def compare_benchmark(
         )
     cache = collect_cache_stats(sling, unfold_before)
     comparison.candidates_checked = cache.candidates_checked
+    comparison.candidate_groups = cache.candidate_groups
     return comparison, cache
 
 
@@ -174,6 +181,7 @@ def run_table2(
         for outcome in payload.outcomes:
             row.add(outcome.sling_found, outcome.s2_found)
         row.candidates_checked += payload.candidates_checked
+        row.candidate_groups += payload.candidate_groups
     return result
 
 
@@ -181,23 +189,26 @@ def format_table2(result: Table2Result) -> str:
     """Render Table 2 in the paper's column layout.
 
     ``Cand`` is the number of Algorithm 2 candidates that reached the model
-    checker during the row's SLING runs (see ``docs/performance.md``).
+    checker during the row's SLING runs and ``Grp`` the number of spatial
+    skeleton groups they were decided through (see ``docs/performance.md``).
     """
     header = (
         f"{'Programs':34s} {'Total':>6s} {'Both':>6s} {'S2':>6s} {'SLING':>6s} "
-        f"{'Neither':>8s} {'Cand':>6s}"
+        f"{'Neither':>8s} {'Cand':>6s} {'Grp':>6s}"
     )
     lines = [header, "-" * len(header)]
     for row in result.rows:
         lines.append(
             f"{row.category:34s} {row.total:6d} {row.both:6d} {row.s2_only:6d} "
-            f"{row.sling_only:6d} {row.neither:8d} {row.candidates_checked:6d}"
+            f"{row.sling_only:6d} {row.neither:8d} {row.candidates_checked:6d} "
+            f"{row.candidate_groups:6d}"
         )
     summary = result.summary()
     lines.append("-" * len(header))
     lines.append(
         f"{summary.category:34s} {summary.total:6d} {summary.both:6d} {summary.s2_only:6d} "
-        f"{summary.sling_only:6d} {summary.neither:8d} {summary.candidates_checked:6d}"
+        f"{summary.sling_only:6d} {summary.neither:8d} {summary.candidates_checked:6d} "
+        f"{summary.candidate_groups:6d}"
     )
     return "\n".join(lines)
 

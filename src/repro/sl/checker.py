@@ -86,6 +86,10 @@ class _SearchState:
     #: with addresses (consumed from the available set), popped on backtrack.
     trail: list = field(default_factory=list)
     max_trail: int = 0
+    #: Raw-leaf mode (skeleton streams): yield ``(env, available, deferred
+    #: pures, unknowns)`` at each leaf instead of discharging the deferred
+    #: goals and yielding a finished ``(env, available)`` pair.
+    raw: bool = False
 
 
 class CheckBudgetExceeded(Exception):
@@ -112,6 +116,15 @@ class ModelChecker:
         positionally so candidates that differ only in the machine-generated
         names of their existentials share one entry -- and both successful
         and failed reductions are cached.  ``0`` disables memoization.
+        ``None`` (the default) is adaptive: batched checking bypasses the
+        per-formula memo entirely (its skeleton streams already share the
+        search), so the table defaults off when ``batch_by_skeleton`` is on
+        and to 65,536 entries otherwise.
+    batch_by_skeleton:
+        Enables :meth:`check_batch`'s shared skeleton streams (see below).
+        The flag is consulted by the candidate loop (:mod:`repro.core.
+        infer_atom`) and by the adaptive ``cache_size`` default; the batched
+        decision procedure itself is always exact.
     fail_fast:
         When true, :meth:`check_all` orders models by ascending heap size
         and remembers the last refuting model per formula shape, so the
@@ -128,13 +141,23 @@ class ModelChecker:
         registry: PredicateRegistry,
         max_steps: int = 50_000,
         max_solutions: int = 64,
-        cache_size: int = 65_536,
+        cache_size: int | None = None,
         fail_fast: bool = True,
         prune_cases: bool = True,
+        batch_by_skeleton: bool = True,
+        stream_cache_size: int = 1024,
+        stream_max_entries: int = 4096,
     ):
         self.registry = registry
         self.max_steps = max_steps
         self.max_solutions = max_solutions
+        self.batch_by_skeleton = batch_by_skeleton
+        if cache_size is None:
+            # Adaptive default: the batched pipeline shares the search via
+            # skeleton streams and proved the per-formula memo a net loss
+            # (see docs/performance.md), so it only defaults on when the
+            # caller opts out of batching.
+            cache_size = 0 if batch_by_skeleton else 65_536
         self.cache_size = cache_size
         self.fail_fast = fail_fast
         self.prune_cases = prune_cases
@@ -146,8 +169,16 @@ class ModelChecker:
         #: Screening / fail-fast counters (shared with the candidate loop).
         self.screen_stats = ScreeningStats()
         #: Learned refuters: formula shape -> index of the model (within the
-        #: last ``check_all`` batch of that shape) that refuted it.
-        self._refuters: dict[tuple, int] = {}
+        #: last ``check_all`` batch of that shape) that refuted it.  Bounded
+        #: with the same LRU discipline as the check memo: formula shapes
+        #: accumulate for the life of an engine run otherwise.
+        self._refuters: OrderedDict[tuple, int] = OrderedDict()
+        self.refuters_limit = _REFUTERS_LIMIT
+        #: Memoized skeleton streams: (skeleton structural key, model) ->
+        #: :class:`EnvStream`, LRU-bounded.
+        self.stream_cache_size = stream_cache_size
+        self.stream_max_entries = stream_max_entries
+        self._streams: OrderedDict[tuple, EnvStream] = OrderedDict()
 
     # ------------------------------------------------------------------ API --
 
@@ -161,6 +192,9 @@ class ModelChecker:
         heap addresses).
         """
         if self._cache is None:
+            # No memo table: still count the lookup as a miss so that
+            # ``hits + misses`` remains the number of ``check`` calls.
+            self.cache_misses += 1
             return self._check_uncached(model, formula)
         # The shadow mask records which existentials collide with a stack
         # variable of this model: the search resolves such names against the
@@ -216,9 +250,10 @@ class ModelChecker:
         }
 
     def clear_cache(self) -> None:
-        """Drop all memoized reductions and reset the counters."""
+        """Drop all memoized reductions (and skeleton streams), reset counters."""
         if self._cache is not None:
             self._cache.clear()
+        self._streams.clear()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -284,26 +319,333 @@ class ModelChecker:
             return results
 
         shape = formula_shape(formula)
-        order = sorted(range(count), key=lambda index: len(models[index].heap))
-        hint = self._refuters.get(shape)
-        if hint is not None and 0 <= hint < count and order[0] != hint:
-            order.remove(hint)
-            order.insert(0, hint)
+        order = self._model_order(models, shape)
         results: list[CheckResult | None] = [None] * count
         for position, index in enumerate(order):
             result = self.check(models[index], formula)
             if result is None:
-                self._refuters[shape] = index
+                self._learn_refuter(shape, index)
                 if position == 0:
                     self.screen_stats.refuted_by_first_model += 1
                 return None
             results[index] = result
         return results  # type: ignore[return-value]
 
+    def _model_order(self, models: Sequence[StackHeapModel], shape: tuple) -> list[int]:
+        """Fail-fast try order: smallest heap first, learned refuter in front."""
+        count = len(models)
+        order = sorted(range(count), key=lambda index: len(models[index].heap))
+        hint = self._refuters.get(shape)
+        if hint is not None:
+            self._refuters.move_to_end(shape)
+            if 0 <= hint < count and order[0] != hint:
+                order.remove(hint)
+                order.insert(0, hint)
+        return order
+
+    def _learn_refuter(self, shape: tuple, index: int) -> None:
+        """Record the refuting model for a shape (LRU-bounded)."""
+        self._refuters[shape] = index
+        self._refuters.move_to_end(shape)
+        if len(self._refuters) > self.refuters_limit:
+            self._refuters.popitem(last=False)
+
     def satisfies(self, model: StackHeapModel, formula: SymHeap) -> bool:
         """Exact satisfaction ``s,h |= F`` (the residual heap must be empty)."""
         result = self.check(model, formula)
         return result is not None and result.covers_everything()
+
+    # ------------------------------------------------------- batched checking --
+
+    def check_batch(
+        self,
+        models: Sequence[StackHeapModel],
+        skeleton: SymHeap,
+        pure_variants: Sequence["PureVariant"],
+        drop_vacuous: bool = True,
+    ) -> list:
+        """Decide many pure variants of one spatial skeleton in bulk.
+
+        ``skeleton`` is a single predicate application whose non-root slots
+        are existentially relaxed (see :func:`build_skeleton`); each
+        :class:`PureVariant` re-pins some of those slots to stack values and
+        carries the exact per-candidate formula.  The trail-based ``_solve``
+        search runs once per (skeleton, model) and lazily enumerates every
+        satisfying environment into a memoized :class:`EnvStream`; a variant
+        is then decided by evaluating its compiled slot equalities against
+        the streamed environments.
+
+        Exactness contract (the batched pipeline is bit-identical to
+        per-candidate :meth:`check_all`):
+
+        * every solution of the per-candidate search projects onto a stream
+          entry its matcher accepts (the relaxed search explores a branch
+          superset, entries keep their deferred pure goals and the matcher
+          re-runs the ``_discharge_deferred`` endgame under the variant's
+          bindings), so *no match against a complete stream* is a sound
+          refutation -- and refutation is enumeration-order independent;
+        * a variant whose matches (on every model) consume nothing can only
+          produce an all-vacuous or refuted ``check_all`` outcome, both of
+          which the candidate loop drops (only used with ``drop_vacuous``);
+        * accepted variants are settled from the stream by replicating the
+          exact search's selection rule (first solution of maximal consumed
+          size, capped at ``max_solutions``) -- and whenever that selection
+          could depend on the per-candidate enumeration order (ties between
+          distinct best reductions, too many solutions, incomplete streams)
+          the variant falls back to the exact :meth:`check_all`, which
+          reproduces residuals, instantiations and tie-breaking
+          bit-for-bit.
+
+        Returns one entry per variant: ``None`` (refuted), the
+        :data:`BATCH_VACUOUS` sentinel (provably dropped by the vacuity
+        filter), or the list of per-model :class:`CheckResult`.
+        """
+        variants = list(pure_variants)
+        if not variants:
+            return []
+        count = len(models)
+        if count == 0:
+            return [self.check_all(models, variant.formula) for variant in variants]
+
+        atom = skeleton.spatial_atoms()[0]
+        slot_names = tuple(arg.name for arg in atom.args)
+        root_position = next(
+            position
+            for position, name in enumerate(slot_names)
+            if not name.startswith(_SLOT_PREFIX)
+        )
+        root_name = slot_names[root_position]
+        shape = formula_shape(skeleton)
+        if self.fail_fast and count > 1:
+            order = self._model_order(models, shape)
+        else:
+            order = list(range(count))
+
+        stats = self.screen_stats
+        total = len(variants)
+        pending = [True] * total
+        refuted = [False] * total
+        #: Every model so far produced a best reduction consuming nothing
+        #: (the precondition of the vacuity short-circuit).
+        vacuous_ok = [True] * total
+        #: Some (variant, model) pair was undecidable from its stream alone
+        #: (incomplete stream, too many solutions, or a genuine tie between
+        #: distinct best reductions): only the exact search settles it.
+        needs_exact = [False] * total
+        #: Per-variant, per-model reductions settled from the streams.
+        settled: list[list[CheckResult | None]] = [[None] * count for _ in range(total)]
+        #: Per-variant compiled matchers: (pinned positions, evaluator).
+        #: The positions are static per variant except for the rare
+        #: stack-shadowed free slot, so compilation happens once, not once
+        #: per (variant, model).
+        matchers: list[tuple[tuple[int, ...], object] | None] = [None] * total
+        refuted_per_model: dict[int, int] = {}
+
+        for position, model_index in enumerate(order):
+            live = [index for index in range(total) if pending[index]]
+            if not live:
+                break
+            model = models[model_index]
+            stack = model.stack_map
+            domain = model.heap.domain()
+            root_value = stack.get(root_name)
+            if root_value is None:
+                # The root variable itself is uninterpretable here: the
+                # exact search refutes every candidate of the group.
+                for index in live:
+                    pending[index] = False
+                    refuted[index] = True
+                refuted_per_model[model_index] = len(live)
+                if position == 0:
+                    stats.refuted_by_first_model += len(live)
+                continue
+            stream = self._get_stream(skeleton, model, root_position, root_value)
+            refuted_here = 0
+            for index in live:
+                variant = variants[index]
+                required = variant.resolve(stack)
+                if required is None:
+                    # A free variable of the candidate has no stack value in
+                    # this model: the exact search refutes it outright.
+                    pending[index] = False
+                    refuted[index] = True
+                    refuted_here += 1
+                    continue
+                positions = tuple(pair[0] for pair in required)
+                values = tuple(pair[1] for pair in required)
+                cached = matchers[index]
+                if cached is None or cached[0] != positions:
+                    cached = (
+                        positions,
+                        _compile_matcher(positions, slot_names, self._discharge_deferred),
+                    )
+                    matchers[index] = cached
+                verdict = self._decide_variant(
+                    stream, variant, cached[1], values, slot_names, stack, model, domain
+                )
+                if verdict is None:
+                    pending[index] = False
+                    refuted[index] = True
+                    refuted_here += 1
+                elif verdict is _UNDECIDED:
+                    needs_exact[index] = True
+                else:
+                    settled[index][model_index] = verdict
+                    if verdict.consumed:
+                        vacuous_ok[index] = False
+            if refuted_here:
+                refuted_per_model[model_index] = refuted_here
+                if position == 0:
+                    stats.refuted_by_first_model += refuted_here
+        if self.fail_fast and refuted_per_model:
+            # Group-granularity refuter learning: remember the model that
+            # settled the most variants of this skeleton shape.
+            best = max(refuted_per_model, key=refuted_per_model.__getitem__)
+            self._learn_refuter(shape, best)
+
+        outcomes: list = []
+        for index in range(total):
+            if refuted[index]:
+                outcomes.append(None)
+            elif needs_exact[index]:
+                stats.batch_exact_fallbacks += 1
+                outcomes.append(self.check_all(models, variants[index].formula))
+            elif drop_vacuous and vacuous_ok[index]:
+                outcomes.append(BATCH_VACUOUS)
+            else:
+                outcomes.append(settled[index])
+        return outcomes
+
+    def _decide_variant(
+        self,
+        stream: "EnvStream",
+        variant: "PureVariant",
+        matcher,
+        values: tuple[int, ...],
+        slot_names: tuple[str, ...],
+        stack: dict[str, int],
+        model: StackHeapModel,
+        domain: frozenset[int],
+    ) -> "CheckResult | None | object":
+        """Settle one (variant, model) pair from the skeleton stream.
+
+        Replicates ``_check_uncached``'s selection rule over the matching
+        entries: the result is the first enumerated solution achieving the
+        maximal consumed size, enumeration stops at a full-coverage solution
+        or after ``max_solutions``.  Whenever that selection could depend on
+        the (unknowable) per-candidate enumeration order -- more matches
+        than ``max_solutions``, an incomplete stream, or tied best
+        reductions that disagree on residual or instantiation -- the verdict
+        is :data:`_UNDECIDED` and the caller falls back to the exact search.
+
+        Returns ``None`` for a sound refutation (no compatible environment
+        in a complete stream), a :class:`CheckResult` when the selection is
+        unambiguous, ``_UNDECIDED`` otherwise.
+        """
+        stats = self.screen_stats
+        entries = stream.entries
+        matches = 0
+        best_size = -1
+        tied: list[tuple[_StreamEntry, dict | None]] = []
+        index = 0
+        while stream.ensure(index):
+            entry = entries[index]
+            index += 1
+            stats.pure_variant_evals += 1
+            matched, final_env = matcher(entry, values)
+            if not matched:
+                continue
+            matches += 1
+            if matches > self.max_solutions:
+                return _UNDECIDED
+            size = entry.nconsumed
+            if size > best_size:
+                best_size = size
+                tied = [(entry, final_env)]
+            elif size == best_size:
+                tied.append((entry, final_env))
+        if matches == 0:
+            return None if stream.complete else _UNDECIDED
+        if not stream.complete:
+            return _UNDECIDED
+        chosen_entry, chosen_env = tied[0]
+        instantiation = _variant_instantiation(
+            variant, chosen_entry, chosen_env, stack, slot_names
+        )
+        for entry, final_env in tied[1:]:
+            if entry.avail != chosen_entry.avail:
+                return _UNDECIDED
+            if (
+                _variant_instantiation(variant, entry, final_env, stack, slot_names)
+                != instantiation
+            ):
+                return _UNDECIDED
+        return CheckResult(
+            residual=model.heap.restrict(chosen_entry.avail),
+            instantiation=instantiation,
+            consumed=domain - chosen_entry.avail,
+        )
+
+    def _get_stream(
+        self,
+        skeleton: SymHeap,
+        model: StackHeapModel,
+        root_position: int,
+        root_value: int,
+    ) -> "EnvStream":
+        """The (memoized) solution stream of one skeleton against one model.
+
+        The memo key deliberately drops everything the relaxed search cannot
+        observe: the skeleton mentions only the root variable and its
+        reserved slot existentials, so the stream is a function of
+        (predicate, arity, root position, root *value*, heap) alone.  Models
+        that alias the same structure through different pointer variables --
+        or share a residual heap across result branches -- therefore share
+        one enumeration.
+        """
+        atom = skeleton.spatial_atoms()[0]
+        key = (atom.name, len(atom.args), root_position, root_value, model.heap)
+        streams = self._streams
+        stream = streams.get(key)
+        if stream is not None:
+            streams.move_to_end(key)
+            self.screen_stats.env_stream_reuses += 1
+            return stream
+        stream = EnvStream(
+            self._iter_skeleton_leaves(model, skeleton),
+            tuple(arg.name for arg in atom.args),
+            len(model.heap),
+            self.stream_max_entries,
+        )
+        streams[key] = stream
+        if len(streams) > self.stream_cache_size:
+            streams.popitem(last=False)
+        self.screen_stats.skeletons_solved += 1
+        return stream
+
+    def _iter_skeleton_leaves(self, model: StackHeapModel, skeleton: SymHeap):
+        """Raw-leaf enumeration of the skeleton search (EnvStream source).
+
+        Mirrors ``_check_uncached`` exactly -- same free-variable guard,
+        same depth budget -- but yields every leaf ``(env, available,
+        deferred pures, unknowns)`` instead of discharging deferred goals
+        and selecting a best solution.
+        """
+        env = dict(model.stack)
+        unknowns = set(skeleton.exists)
+        for name in skeleton.free_vars():
+            if name not in env:
+                return
+        spatials = list(skeleton.spatial_atoms())
+        state = _SearchState(
+            max_depth=3 * len(model.heap) + 3 * len(spatials) + 30, raw=True
+        )
+        available = set(model.heap.domain())
+        try:
+            yield from self._solve(spatials, [], env, unknowns, available, model, state, 0)
+        finally:
+            if state.max_trail > self.screen_stats.max_trail_depth:
+                self.screen_stats.max_trail_depth = state.max_trail
 
     # ------------------------------------------------------------ search core --
 
@@ -362,6 +704,13 @@ class ModelChecker:
                         break
 
             if not spatials:
+                if state.raw:
+                    # Skeleton-stream mode: hand the raw leaf to the caller
+                    # (who snapshots it) without committing to witnesses for
+                    # the deferred constraints -- the per-variant evaluation
+                    # re-runs the endgame under each variant's bindings.
+                    yield env, available, pures, unknowns
+                    return
                 # Only deferred pure goals remain: constraints over
                 # existential variables that the heap never pinned down
                 # (e.g. the outer bounds of a bst or the lower bound of a
@@ -658,6 +1007,234 @@ class ModelChecker:
 _OK = object()
 _FAIL = object()
 _DEFER = object()
+
+#: Outcome sentinel of ``check_batch``: the variant is not refuted, but every
+#: reduction it admits consumes nothing, so the candidate loop's vacuity
+#: filter is guaranteed to drop it without needing the concrete results.
+BATCH_VACUOUS = object()
+
+#: Internal verdict of ``_decide_variant``: the stream cannot settle this
+#: (variant, model) pair exactly; the caller must run the exact search.
+_UNDECIDED = object()
+
+#: Upper bound on learned refuter entries (same LRU discipline as the memo).
+_REFUTERS_LIMIT = 4096
+
+#: Prefix of the synthetic skeleton slot variables.  ``?`` cannot occur in
+#: parsed/program variable names, so slots never shadow stack variables.
+_SLOT_PREFIX = "?w"
+
+
+@dataclass(frozen=True)
+class PureVariant:
+    """One candidate of a skeleton group, expressed as pure slot deltas.
+
+    A candidate ``p(a0, ..., an)`` with root ``r`` at position ``k`` is
+    equivalent to ``exists w... . p(w0, ..., r@k, ..., wn) /\\ wi = ai`` for
+    its non-fresh arguments -- the skeleton plus a conjunction of slot
+    equalities.  ``formula`` keeps the exact per-candidate symbolic heap for
+    the fallback path (and for ablation comparisons).
+    """
+
+    #: The original candidate formula (fallback / reference semantics).
+    formula: SymHeap
+    #: ``(slot position, stack variable)`` equalities.
+    var_slots: tuple[tuple[int, str], ...]
+    #: Slot positions pinned to ``nil``.
+    nil_slots: tuple[int, ...] = ()
+    #: ``(slot position, existential name)`` -- unconstrained, *unless* the
+    #: name collides with a stack variable of a model, in which case the
+    #: search resolves it against the stack (scoping quirk kept for
+    #: compatibility) and the slot is pinned like a ``var_slot``.
+    free_slots: tuple[tuple[int, str], ...] = ()
+
+    def resolve(self, stack: dict[str, int]) -> tuple[tuple[int, int], ...] | None:
+        """Concrete slot requirements under one model's stack.
+
+        ``None`` when a non-fresh argument has no stack value -- the exact
+        search refutes such candidates outright (uninterpretable free
+        variable), so callers treat it as a refutation.
+        """
+        required: list[tuple[int, int]] = []
+        for position, name in self.var_slots:
+            value = stack.get(name)
+            if value is None:
+                return None
+            required.append((position, value))
+        for position in self.nil_slots:
+            required.append((position, 0))
+        for position, name in self.free_slots:
+            value = stack.get(name)
+            if value is not None:
+                required.append((position, value))
+        return tuple(required)
+
+
+def build_skeleton(name: str, arity: int, root: str, root_position: int) -> SymHeap:
+    """The spatial skeleton shared by every candidate ``p(.., root@k, ..)``.
+
+    All slots except the root are relaxed to fresh existentials named with
+    the reserved ``?w`` prefix (position-stable, so the structural key of a
+    skeleton is canonical by construction).
+    """
+    slots = [
+        Var(root) if position == root_position else Var(f"{_SLOT_PREFIX}{position}")
+        for position in range(arity)
+    ]
+    exists = tuple(
+        f"{_SLOT_PREFIX}{position}"
+        for position in range(arity)
+        if position != root_position
+    )
+    return SymHeap(exists=exists, spatial=PredApp(name, slots))
+
+
+def _compile_matcher(positions, slot_names, discharge):
+    """Compile a variant's pinned slot positions into an entry evaluator.
+
+    Compiled once per variant (the pinned *positions* are static); the
+    per-model *values* arrive as a tuple aligned with ``positions``.  The
+    evaluator decides whether one streamed environment is compatible with
+    the variant's bindings: pinned slots must agree with the entry's values
+    (an unbound slot is compatible with anything -- nothing on the leaf's
+    path constrained it), and entries carrying deferred pure goals re-run
+    the ``_discharge_deferred`` endgame under the extended environment,
+    exactly as the per-candidate search would.  It returns ``(matched,
+    final_env)`` where ``final_env`` is the endgame's witness environment
+    (``None`` for entries without deferred goals).
+    """
+    names = tuple(slot_names[position] for position in positions)
+    if len(positions) == 1:
+        (position,) = positions
+        name = names[0]
+
+        def match_one(entry, values):
+            slot = entry.values[position]
+            value = values[0]
+            if slot is not None and slot != value:
+                return False, None
+            if entry.deferred is None:
+                return True, None
+            env = dict(entry.env)
+            if env.get(name) is None:
+                env[name] = value
+            final_env = discharge(list(entry.deferred), env, entry.unknowns)
+            return final_env is not None, final_env
+
+        return match_one
+
+    def match_many(entry, values):
+        entry_values = entry.values
+        for position, value in zip(positions, values):
+            slot = entry_values[position]
+            if slot is not None and slot != value:
+                return False, None
+        if entry.deferred is None:
+            return True, None
+        env = dict(entry.env)
+        for name, value in zip(names, values):
+            if env.get(name) is None:
+                env[name] = value
+        final_env = discharge(list(entry.deferred), env, entry.unknowns)
+        return final_env is not None, final_env
+
+    return match_many
+
+
+def _variant_instantiation(
+    variant: "PureVariant",
+    entry: "_StreamEntry",
+    final_env: dict | None,
+    stack: dict[str, int],
+    slot_names: tuple[str, ...],
+) -> dict[str, int]:
+    """The candidate's existential instantiation at one stream entry.
+
+    Mirrors ``_check_uncached``: a fresh argument is bound to whatever the
+    search (or the deferred endgame) pinned its slot to; a fresh name that
+    collides with a stack variable resolves to the stack value (the search
+    seeds its environment from the stack); unconstrained names are omitted.
+    """
+    instantiation: dict[str, int] = {}
+    for position, name in variant.free_slots:
+        stack_value = stack.get(name)
+        if stack_value is not None:
+            instantiation[name] = stack_value
+            continue
+        if final_env is not None:
+            value = final_env.get(slot_names[position])
+        else:
+            value = entry.values[position]
+        if value is not None:
+            instantiation[name] = value
+    return instantiation
+
+
+class _StreamEntry:
+    """One satisfying leaf of a skeleton search, snapshotted for reuse."""
+
+    __slots__ = ("values", "avail", "nconsumed", "env", "unknowns", "deferred")
+
+
+class EnvStream:
+    """Lazily materialized solutions of one (spatial skeleton, model) search.
+
+    Entries are pulled from the raw-leaf generator on demand (``ensure``),
+    snapshotted once and shared by every pure variant that consults the
+    stream -- within one ``check_batch`` call and, through the checker's
+    stream memo, across candidate batches.  ``complete`` distinguishes an
+    exhausted enumeration (refutations may be trusted) from one cut off by
+    the step budget or the entry cap (consumers must fall back to exact
+    checks).
+    """
+
+    __slots__ = ("slot_names", "entries", "complete", "_source", "_heap_size", "_max_entries")
+
+    def __init__(self, source, slot_names: tuple[str, ...], heap_size: int, max_entries: int):
+        self.slot_names = slot_names
+        self.entries: list[_StreamEntry] = []
+        self.complete = False
+        self._source = source
+        self._heap_size = heap_size
+        self._max_entries = max_entries
+
+    def ensure(self, index: int) -> bool:
+        """Materialize entries up to ``index``; False when none exists."""
+        entries = self.entries
+        while len(entries) <= index:
+            source = self._source
+            if source is None:
+                return False
+            try:
+                env, available, deferred, unknowns = next(source)
+            except StopIteration:
+                self._source = None
+                self.complete = True
+                return False
+            except CheckBudgetExceeded:
+                self._source = None
+                return False
+            entry = _StreamEntry()
+            entry.values = tuple(env.get(name) for name in self.slot_names)
+            entry.avail = frozenset(available)
+            entry.nconsumed = self._heap_size - len(available)
+            if deferred:
+                # The endgame is re-run per variant: keep the leaf's full
+                # environment and scope alongside the deferred goals.
+                entry.deferred = tuple(deferred)
+                entry.env = dict(env)
+                entry.unknowns = frozenset(unknowns)
+            else:
+                entry.deferred = None
+                entry.env = None
+                entry.unknowns = None
+            entries.append(entry)
+            if len(entries) >= self._max_entries and self._source is not None:
+                # Safety valve for combinatorial skeletons: close out and
+                # leave the stream marked incomplete.
+                self._source.close()
+                self._source = None
+        return True
 
 # Sentinel for the lazily computed unfold key in ``_solve_pred`` (the key
 # itself may legitimately be ``None`` for non-canonical argument tuples).

@@ -66,6 +66,16 @@ class ScreeningStats:
     refuted_by_first_model: int = 0
     pruned_cases: int = 0
     max_trail_depth: int = 0
+    #: Skeleton-batching counters (see ``ModelChecker.check_batch``):
+    #: candidate groups formed by the candidate loop, skeleton searches
+    #: actually run, stream-memo reuses, per-(variant, entry) evaluations of
+    #: compiled pure deltas, and batched variants that needed the exact
+    #: per-candidate fallback.
+    candidate_groups: int = 0
+    skeletons_solved: int = 0
+    env_stream_reuses: int = 0
+    pure_variant_evals: int = 0
+    batch_exact_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -75,6 +85,11 @@ class ScreeningStats:
             "refuted_by_first_model": self.refuted_by_first_model,
             "pruned_cases": self.pruned_cases,
             "max_trail_depth": self.max_trail_depth,
+            "candidate_groups": self.candidate_groups,
+            "skeletons_solved": self.skeletons_solved,
+            "env_stream_reuses": self.env_stream_reuses,
+            "pure_variant_evals": self.pure_variant_evals,
+            "batch_exact_fallbacks": self.batch_exact_fallbacks,
         }
 
 
@@ -530,6 +545,43 @@ def candidate_refuted(
     if drop_vacuous and not may_consume_somewhere:
         return True
     return False
+
+
+def screen_candidates(
+    predicate,
+    candidates,
+    facts_list: Sequence[ModelFacts],
+    registry,
+    drop_vacuous: bool = True,
+    stats: ScreeningStats | None = None,
+):
+    """Screen one predicate's enumerated candidates in bulk.
+
+    ``candidates`` are ``(permutation, fresh name set)`` records in
+    enumeration order; the survivors are returned in the same order, ready
+    to be grouped by spatial skeleton and batch-checked.  The per-candidate
+    decision is exactly :func:`candidate_refuted` (the pre-filter stays a
+    pure optimisation); hoisting the loop here lets the per-model facts,
+    case screens and registry lookups live in one place for a whole group
+    instead of being re-threaded per candidate.
+    """
+    survivors = []
+    screened = 0
+    for candidate in candidates:
+        if candidate_refuted(
+            predicate,
+            candidate.permutation,
+            candidate.fresh,
+            facts_list,
+            registry,
+            drop_vacuous=drop_vacuous,
+        ):
+            screened += 1
+            continue
+        survivors.append(candidate)
+    if stats is not None:
+        stats.candidates_prefiltered += screened
+    return survivors
 
 
 def formula_shape(formula: SymHeap) -> tuple:

@@ -52,6 +52,25 @@ class TestSearchSpaceGuard:
         )
 
     @pytest.mark.parametrize("name", WORKLOAD)
+    def test_group_and_skeleton_counts_are_pinned(self, baseline, name):
+        """The skeleton-batching layout is deterministic and exactly pinned.
+
+        ``candidate_groups`` measures how well the candidate lattice
+        collapses onto spatial skeletons, ``skeletons_solved`` how many
+        shared searches actually ran and ``env_stream_reuses`` how often the
+        stream memo served one for free.  A drift in any of them means the
+        grouping or the stream memo keying changed -- deliberate changes
+        must regenerate the baseline and say why.
+        """
+        stats = run_workload(name)
+        recorded = baseline[name]
+        for key in ("candidate_groups", "skeletons_solved", "env_stream_reuses"):
+            assert stats[key] == recorded[key], (
+                f"{name}: {key} changed from {recorded[key]} to {stats[key]} "
+                "(see tests/data/search_guard_baseline.json)"
+            )
+
+    @pytest.mark.parametrize("name", WORKLOAD)
     def test_prefilter_fires(self, baseline, name):
         stats = run_workload(name)
         assert stats["candidates_prefiltered"] > 0
@@ -75,6 +94,11 @@ class TestSearchSpaceGuard:
             "refuted_by_first_model",
             "pruned_cases",
             "max_trail_depth",
+            "candidate_groups",
+            "skeletons_solved",
+            "env_stream_reuses",
+            "pure_variant_evals",
+            "batch_exact_fallbacks",
         ):
             assert key in stats, f"cache_stats() lost the {key!r} counter"
 
@@ -98,6 +122,7 @@ class TestScreeningNeverChangesResults:
                 screen_candidates=False,
                 checker_fail_fast=False,
                 checker_prune_cases=False,
+                batch_by_skeleton=False,
             )
         )
         assert screened == unscreened

@@ -165,6 +165,11 @@ class TestScreeningStats:
             "refuted_by_first_model",
             "pruned_cases",
             "max_trail_depth",
+            "candidate_groups",
+            "skeletons_solved",
+            "env_stream_reuses",
+            "pure_variant_evals",
+            "batch_exact_fallbacks",
         }
 
 
