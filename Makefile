@@ -3,13 +3,23 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-smoke bench-smoke-engine bench-compare docs table1 table2
+.PHONY: check test smoke bench bench-micro bench-smoke bench-smoke-engine bench-compare docs table1 table2
 
 # Tier-1 gate: the full test suite (which includes the deterministic
-# search-space guard), a CLI smoke test, a small engine bench and the full
-# engine bench gated against the committed trajectory -- one command.
-# (bench-smoke-engine, not bench-smoke: `test` already ran the guard.)
-check: test smoke bench-smoke-engine bench-compare
+# search-space guard), a CLI smoke test, the micro/ablation benchmark
+# harnesses (run once each, as correctness smoke), a small engine bench and
+# the full engine bench gated against the committed trajectory -- one
+# command.  (bench-smoke-engine, not bench-smoke: `test` already ran the
+# guard.)
+check: test smoke bench-micro bench-smoke-engine bench-compare
+
+# The pytest-benchmark harnesses (checker scaling, variable-order ablation)
+# exercised as plain tests: their assertions catch API or counter drift that
+# the unit suite does not touch, long before anyone reads their timings.
+bench-micro:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_checker.py \
+		benchmarks/bench_ablation.py -q -p no:cacheprovider
+	@echo "micro/ablation bench smoke OK"
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q

@@ -104,6 +104,17 @@ class CacheStats:
     env_stream_reuses: int = 0
     pure_variant_evals: int = 0
     batch_exact_fallbacks: int = 0
+    # Canonical-interning counters (isomorphism dedup in the driver and
+    # canonical stream keys in the checker; see ``docs/performance.md``):
+    # isomorphism classes formed, member models replayed from a class
+    # representative, stream-memo hits that only canonical keying made
+    # possible, and models that took the exact per-model path anyway
+    # (exactness guard, or a location rolled back after an order-dependent
+    # checker selection).
+    iso_classes: int = 0
+    models_deduped: int = 0
+    canonical_stream_hits: int = 0
+    iso_exact_fallbacks: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another job's counters into this one."""
@@ -121,6 +132,10 @@ class CacheStats:
         self.env_stream_reuses += other.env_stream_reuses
         self.pure_variant_evals += other.pure_variant_evals
         self.batch_exact_fallbacks += other.batch_exact_fallbacks
+        self.iso_classes += other.iso_classes
+        self.models_deduped += other.models_deduped
+        self.canonical_stream_hits += other.canonical_stream_hits
+        self.iso_exact_fallbacks += other.iso_exact_fallbacks
         # A depth, not a volume: the batch-wide value is the deepest job.
         if other.max_trail_depth > self.max_trail_depth:
             self.max_trail_depth = other.max_trail_depth
@@ -168,6 +183,10 @@ class CacheStats:
             "stream_reuse_rate": round(self.stream_reuse_rate, 4),
             "pure_variant_evals": self.pure_variant_evals,
             "batch_exact_fallbacks": self.batch_exact_fallbacks,
+            "iso_classes": self.iso_classes,
+            "models_deduped": self.models_deduped,
+            "canonical_stream_hits": self.canonical_stream_hits,
+            "iso_exact_fallbacks": self.iso_exact_fallbacks,
         }
 
 
@@ -304,6 +323,10 @@ def _dispatch(job: EngineJob) -> tuple[object, CacheStats]:
             env_stream_reuses=result.env_stream_reuses,
             pure_variant_evals=result.pure_variant_evals,
             batch_exact_fallbacks=result.batch_exact_fallbacks,
+            iso_classes=result.iso_classes,
+            models_deduped=result.models_deduped,
+            canonical_stream_hits=result.canonical_stream_hits,
+            iso_exact_fallbacks=result.iso_exact_fallbacks,
         )
         return result, cache
 
@@ -357,6 +380,10 @@ def collect_cache_stats(sling, unfold_before: dict[str, int] | None = None) -> C
         env_stream_reuses=stats["env_stream_reuses"],
         pure_variant_evals=stats["pure_variant_evals"],
         batch_exact_fallbacks=stats["batch_exact_fallbacks"],
+        iso_classes=stats["iso_classes"],
+        models_deduped=stats["models_deduped"],
+        canonical_stream_hits=stats["canonical_stream_hits"],
+        iso_exact_fallbacks=stats["iso_exact_fallbacks"],
     )
 
 
@@ -378,13 +405,27 @@ class InferenceEngine:
         Default per-job timeout in seconds (see :class:`EngineJob.timeout`).
         ``None`` waits indefinitely.  Enforced per job by an interval timer
         inside the executing process, so it works for inline runs too.
+    warm_pool:
+        Populate the shared, copy-on-write worker state *before* forking the
+        pool: the benchmark registry is imported, every predicate's case
+        screens are compiled, and -- crucially for the canonical-interning
+        layer -- whatever canonical forms the parent process has already
+        interned (e.g. by a preceding sequential sweep) are inherited by
+        every worker instead of being re-derived per job.  Only observable
+        as fork-time state; results are identical either way.
     """
 
-    def __init__(self, jobs: int = 1, job_timeout: float | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        job_timeout: float | None = None,
+        warm_pool: bool = True,
+    ):
         if jobs < 1:
             raise EngineError(f"engine needs at least one worker, got jobs={jobs}")
         self.jobs = jobs
         self.job_timeout = job_timeout
+        self.warm_pool = warm_pool
 
     def run(self, batch: Sequence[EngineJob]) -> list[EngineReport]:
         """Execute a batch and return one report per job, in job order."""
@@ -427,6 +468,8 @@ class InferenceEngine:
         from repro.benchsuite.registry import load_all
 
         load_all()
+        if self.warm_pool:
+            warm_worker_state()
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
@@ -503,6 +546,35 @@ def run_category_batch(
     return results
 
 
+def warm_worker_state() -> dict[str, int]:
+    """Populate the copy-on-write state forked engine workers inherit.
+
+    Imports the benchmark registry and compiles the per-predicate case
+    screens (both cached on long-lived registry objects).  The process-wide
+    canonical-form intern table (:mod:`repro.sl.model`) needs no explicit
+    warm-up: forms interned by any work the parent already did are inherited
+    as-is -- this function just makes the fork point explicit and reports
+    the inherited state's size for the bench report.
+    """
+    from repro.benchsuite.registry import all_benchmarks, load_all
+    from repro.sl.model import intern_table_size
+
+    load_all()
+    screens = 0
+    seen_registries: set[int] = set()
+    for benchmark in all_benchmarks():
+        registry = benchmark.predicates
+        if id(registry) in seen_registries:
+            continue
+        seen_registries.add(id(registry))
+        for predicate in registry:
+            screens += len(predicate.case_screens())
+    return {
+        "predicate_case_screens": screens,
+        "interned_canonical_forms": intern_table_size(),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Engine benchmark harness
 # ---------------------------------------------------------------------------
@@ -523,9 +595,10 @@ def benchmark_engine(
        also pays the one-time registry import and unfold-template warm-up,
        so the speedups below are conservative, not inflated),
     2. sequential with the checker accelerations disabled -- skeleton
-       batching off and the per-formula memo off -- the pre-engine baseline
-       (the unfolding caches on the shared predicate registries stay warm
-       across sweeps and cannot be disabled),
+       batching off, the per-formula memo off, isomorphism dedup and
+       canonical stream keys off -- the pre-engine baseline (the unfolding
+       caches on the shared predicate registries stay warm across sweeps and
+       cannot be disabled),
     3. parallel with ``jobs`` workers and all accelerations enabled.
 
     The parallel *timing* is only reported when it can mean anything: with
@@ -562,7 +635,11 @@ def benchmark_engine(
         return time.perf_counter() - start, result
 
     uncached_config = SlingConfig(
-        discard_crashed_runs=True, checker_cache_size=0, batch_by_skeleton=False
+        discard_crashed_runs=True,
+        checker_cache_size=0,
+        batch_by_skeleton=False,
+        dedupe_isomorphic_models=False,
+        canonical_stream_keys=False,
     )
     available_cpus = multiprocessing.cpu_count()
     parallel_skipped: str | None = None
@@ -629,12 +706,19 @@ def benchmark_engine(
         "cache": cache.as_dict(),
         "deterministic": deterministic,
         "available_cpus": available_cpus,
+        "interned_canonical_forms": _intern_table_size(),
     }
     if parallel_skipped is not None:
         report["parallel_skipped"] = parallel_skipped
     if parallel_note is not None:
         report["parallel_note"] = parallel_note
     return report
+
+
+def _intern_table_size() -> int:
+    from repro.sl.model import intern_table_size
+
+    return intern_table_size()
 
 
 def table1_fingerprints(result) -> list[tuple]:

@@ -89,8 +89,15 @@ def infer_atoms(
     checker: ModelChecker,
     structs: StructRegistry | None = None,
     config: InferAtomConfig | None = None,
+    weights: Sequence[int] | None = None,
 ) -> list[AtomResult]:
-    """Infer atomic heap predicates for ``root`` over its sub-models."""
+    """Infer atomic heap predicates for ``root`` over its sub-models.
+
+    ``weights`` (one per sub-model, defaulting to 1) scale the residual-cell
+    ranking: the isomorphism-deduplicated driver passes each representative
+    model's class size so the ranking reproduces the sums an undeduplicated
+    run would have computed.
+    """
     config = config or InferAtomConfig()
     if not sub_models:
         return []
@@ -120,7 +127,7 @@ def infer_atoms(
             if singleton is not None:
                 results.append(singleton)
 
-    results = _rank_and_prune(results, config)
+    results = _rank_and_prune(results, config, weights)
     if not results:
         results.append(
             AtomResult(
@@ -434,11 +441,21 @@ def _var_type(name: str, models: Sequence[StackHeapModel]) -> str | None:
     return None
 
 
-def _rank_and_prune(results: list[AtomResult], config: InferAtomConfig) -> list[AtomResult]:
+def _rank_and_prune(
+    results: list[AtomResult],
+    config: InferAtomConfig,
+    weights: Sequence[int] | None = None,
+) -> list[AtomResult]:
     """Prefer full-coverage results with the fewest fresh existentials."""
 
     def rank(result: AtomResult) -> tuple:
-        residual = sum(len(model.heap) for model in result.residual_models)
+        if weights is None:
+            residual = sum(len(model.heap) for model in result.residual_models)
+        else:
+            residual = sum(
+                weight * len(model.heap)
+                for weight, model in zip(weights, result.residual_models)
+            )
         return (
             0 if result.covers_everything() else 1,
             residual,

@@ -78,6 +78,17 @@ class SlingConfig:
     #: Screen predicate cases inside the search before instantiating them
     #: (never changes results).
     checker_prune_cases: bool = True
+    #: Collapse each location's models into isomorphism classes (canonical
+    #: labeling, see :mod:`repro.sl.model`) and run Algorithm 2 on one
+    #: representative per class, replaying instantiations to the other
+    #: members through the witness bijection (never changes results; models
+    #: whose canonicalization is not provably exact fall back to the
+    #: per-model path).
+    dedupe_isomorphic_models: bool = True
+    #: Key the checker's skeleton-stream memo and learned-refuter table on
+    #: canonical heap forms, sharing streams across address-renamed models
+    #: (never changes results; see ``docs/performance.md``).
+    canonical_stream_keys: bool = True
     #: Variable-analysis order: "reachability" (the paper's heuristic),
     #: "stack" (declaration order) or "reverse" (ablation baselines).
     variable_order: str = "reachability"
@@ -125,11 +136,23 @@ class Sling:
             fail_fast=self.config.checker_fail_fast,
             prune_cases=self.config.checker_prune_cases,
             batch_by_skeleton=self.config.batch_by_skeleton,
+            canonical_stream_keys=self.config.canonical_stream_keys,
+            structs=program.structs,
         )
         # Hit/miss counters of the per-inference (variable, models) memo that
         # shares Algorithm 2 runs among result branches.
         self.atom_cache_hits = 0
         self.atom_cache_misses = 0
+        # Isomorphism-dedup counters (see ``infer_from_models``): classes
+        # formed, member models replayed from a representative, and models
+        # that took the exact per-model path anyway -- because their
+        # canonicalization is not provably exact, or because their location
+        # was rolled back after an order-dependent checker selection.  All
+        # three count only what actually stuck: an abandoned dedup attempt
+        # is subtracted again.
+        self.iso_classes = 0
+        self.models_deduped = 0
+        self.iso_exact_fallbacks = 0
 
     def cache_stats(self) -> dict[str, int]:
         """Counters of the memo layers and the candidate-screening pipeline."""
@@ -142,6 +165,9 @@ class Sling:
             "unfold_misses": unfold["misses"],
             "atom_cache_hits": self.atom_cache_hits,
             "atom_cache_misses": self.atom_cache_misses,
+            "iso_classes": self.iso_classes,
+            "models_deduped": self.models_deduped,
+            "iso_exact_fallbacks": self.iso_exact_fallbacks,
         }
         stats.update(self.checker.screen_stats.as_dict())
         return stats
@@ -176,19 +202,57 @@ class Sling:
         models: Sequence[StackHeapModel],
         location: str = "<location>",
         free_vars: Sequence[str] | None = None,
+        _allow_dedup: bool = True,
     ) -> list[Invariant]:
-        """Algorithm 1 over already-collected stack-heap models."""
+        """Algorithm 1 over already-collected stack-heap models.
+
+        With ``dedupe_isomorphic_models`` the model list is first collapsed
+        into isomorphism classes (equal exact canonical forms, see
+        :mod:`repro.sl.model`): the whole iteration then runs on one
+        representative per class, weighted by class size wherever the
+        original algorithm summed over models, and the per-representative
+        instantiations are replayed onto the other class members through the
+        witness bijection before pure inference.  Satisfaction is invariant
+        under the witnessed address bijections, so the inferred invariants
+        are bit-identical to the undeduplicated run -- with one caveat: a
+        checker selection that was *enumeration-order dependent* (tied best
+        reductions, truncated enumerations) is not replayable, because the
+        order itself is not renaming-invariant.  The checker counts such
+        selections; if any occurred while this location was deduplicated,
+        the whole location falls back to the exact per-model path
+        (``iso_exact_fallbacks``).
+        """
         if not models:
             return []
-        variables = self._common_pointer_vars(models)
-        order = self._order_variables(models, variables)
+        original_models = list(models)
+        if _allow_dedup:
+            work_models, weights, expansion = self._dedupe_models(original_models)
+        else:
+            work_models, weights, expansion = original_models, [1] * len(original_models), None
+        ambiguities_before = (
+            self.checker.screen_stats.exact_selection_ambiguities
+            if expansion is not None
+            else 0
+        )
+        variables = self._common_pointer_vars(work_models)
+        order = self._order_variables(work_models, variables)
 
         results = [
             InferredResult(
-                models=list(models),
-                instantiations=[dict() for _ in models],
+                models=list(work_models),
+                instantiations=[dict() for _ in work_models],
             )
         ]
+
+        def weighted_residual(result: InferredResult) -> int:
+            # Class members have equal heap sizes at every iteration stage,
+            # so weighting the representatives reproduces the sum the
+            # undeduplicated run would have ranked by.
+            return sum(
+                weight * len(model.heap)
+                for weight, model in zip(weights, result.models)
+            )
+
         # Result branches frequently reach a variable with identical residual
         # models (different atoms earlier in the chain, same coverage), and
         # Algorithm 2 is deterministic in (variable, models): share one
@@ -211,6 +275,7 @@ class Sling:
                         self.checker,
                         self.program.structs,
                         atom_config,
+                        weights=weights,
                     )
                     split_cache[cache_key] = (split, atom_results)
                     self.atom_cache_misses += 1
@@ -237,10 +302,118 @@ class Sling:
                         )
                     )
             if next_results:
-                next_results.sort(key=lambda r: (r.residual_cells(), -r.spatial_atom_count()))
+                next_results.sort(
+                    key=lambda r: (weighted_residual(r), -r.spatial_atom_count())
+                )
                 results = next_results[: self.config.max_total_results]
 
-        return self._finalize(results, models, location, free_vars)
+        if expansion is not None:
+            ambiguities = self.checker.screen_stats.exact_selection_ambiguities
+            if ambiguities != ambiguities_before:
+                # Some selection along the way was order-dependent: the
+                # representative's choice among tied reductions need not be
+                # the one the members' own searches would have made.  Redo
+                # the location exactly (rare: requires an ambiguous tie
+                # inside a location that actually collapsed), and roll the
+                # dedup bookkeeping back so the counters only ever report
+                # dedup that actually stuck.
+                deduped = len(original_models) - len(work_models)
+                self.iso_classes -= len(work_models)
+                self.models_deduped -= deduped
+                self.iso_exact_fallbacks += deduped
+                return self.infer_from_models(
+                    original_models, location, free_vars, _allow_dedup=False
+                )
+            results = [self._expand_result(result, expansion) for result in results]
+        return self._finalize(results, original_models, location, free_vars)
+
+    def _dedupe_models(
+        self, models: list[StackHeapModel]
+    ) -> tuple[list[StackHeapModel], list[int], list[tuple[int, dict | None]] | None]:
+        """Collapse a model list into one representative per isomorphism class.
+
+        Returns ``(representatives, weights, expansion)`` where ``weights``
+        holds each representative's class size and ``expansion`` maps every
+        original model index to ``(representative position, translation)``
+        -- the translation being a representative-address to member-address
+        map (``None`` for the representatives themselves).  When nothing
+        collapses (or the feature is off) the original list is returned with
+        unit weights and ``expansion=None``, so the caller takes the exact
+        original code path.
+        """
+        if not self.config.dedupe_isomorphic_models or len(models) <= 1:
+            return models, [1] * len(models), None
+        structs = self.program.structs
+        representatives: list[StackHeapModel] = []
+        rep_canons: list = []
+        weights: list[int] = []
+        expansion: list[tuple[int, dict | None]] = []
+        by_form: dict[object, int] = {}
+        opaque = 0
+        for index, model in enumerate(models):
+            canon = model.canonical(structs)
+            if not canon.exact:
+                # Canonicalization could not prove the renaming harmless
+                # (integer data aliasing an address, unknown struct types):
+                # the model keeps its own per-model path.
+                opaque += 1
+                key: object = ("opaque", index)
+            else:
+                key = canon.form
+            position = by_form.get(key)
+            if position is None:
+                position = len(representatives)
+                by_form[key] = position
+                representatives.append(model)
+                rep_canons.append(canon)
+                weights.append(1)
+                expansion.append((position, None))
+            else:
+                weights[position] += 1
+                rep_canon = rep_canons[position]
+                member_from = canon.from_addr
+                translation = {
+                    addr: member_from[cid] for addr, cid in rep_canon.to_id.items()
+                }
+                expansion.append((position, translation))
+        self.iso_classes += len(representatives)
+        self.iso_exact_fallbacks += opaque
+        deduped = len(models) - len(representatives)
+        if deduped == 0:
+            return models, [1] * len(models), None
+        self.models_deduped += deduped
+        return representatives, weights, expansion
+
+    @staticmethod
+    def _expand_result(
+        result: InferredResult, expansion: list[tuple[int, dict | None]]
+    ) -> InferredResult:
+        """Replay a per-representative result onto every original model.
+
+        Only the instantiations need translating -- they are what pure
+        inference reads per model; an instantiation value that is an address
+        of the representative's heap maps through the witness bijection,
+        anything else (integer data, nil) transfers unchanged.
+        """
+        instantiations = []
+        for position, translation in expansion:
+            instantiation = result.instantiations[position]
+            if translation is None:
+                instantiations.append(dict(instantiation))
+            else:
+                instantiations.append(
+                    {
+                        name: translation.get(value, value)
+                        for name, value in instantiation.items()
+                    }
+                )
+        return InferredResult(
+            atoms=result.atoms,
+            exists=result.exists,
+            pure=result.pure,
+            models=result.models,
+            instantiations=instantiations,
+        )
 
     def infer_at(
         self,

@@ -69,6 +69,11 @@ class ProgramResult:
     env_stream_reuses: int = 0
     pure_variant_evals: int = 0
     batch_exact_fallbacks: int = 0
+    # Canonical-interning counters (isomorphism dedup + canonical streams).
+    iso_classes: int = 0
+    models_deduped: int = 0
+    canonical_stream_hits: int = 0
+    iso_exact_fallbacks: int = 0
 
     def as_dict(self, include_invariants: bool = False) -> dict:
         """JSON-serializable view (used by ``python -m repro table1 --json``)."""
@@ -99,6 +104,10 @@ class ProgramResult:
             "env_stream_reuses": self.env_stream_reuses,
             "pure_variant_evals": self.pure_variant_evals,
             "batch_exact_fallbacks": self.batch_exact_fallbacks,
+            "iso_classes": self.iso_classes,
+            "models_deduped": self.models_deduped,
+            "canonical_stream_hits": self.canonical_stream_hits,
+            "iso_exact_fallbacks": self.iso_exact_fallbacks,
         }
         if include_invariants and self.specification is not None:
             data["inferred"] = [
@@ -220,6 +229,10 @@ class Table1Result:
                         env_stream_reuses=program.env_stream_reuses,
                         pure_variant_evals=program.pure_variant_evals,
                         batch_exact_fallbacks=program.batch_exact_fallbacks,
+                        iso_classes=program.iso_classes,
+                        models_deduped=program.models_deduped,
+                        canonical_stream_hits=program.canonical_stream_hits,
+                        iso_exact_fallbacks=program.iso_exact_fallbacks,
                     )
                 )
         return totals
@@ -304,6 +317,10 @@ def evaluate_program(
         env_stream_reuses=cache.env_stream_reuses,
         pure_variant_evals=cache.pure_variant_evals,
         batch_exact_fallbacks=cache.batch_exact_fallbacks,
+        iso_classes=cache.iso_classes,
+        models_deduped=cache.models_deduped,
+        canonical_stream_hits=cache.canonical_stream_hits,
+        iso_exact_fallbacks=cache.iso_exact_fallbacks,
     )
 
 

@@ -147,8 +147,18 @@ class ModelChecker:
         batch_by_skeleton: bool = True,
         stream_cache_size: int = 1024,
         stream_max_entries: int = 4096,
+        canonical_stream_keys: bool = True,
+        structs=None,
     ):
         self.registry = registry
+        #: Key skeleton streams and learned refuters on canonical heap forms
+        #: (see :mod:`repro.sl.model`): streams are then shared across
+        #: address-renamed models, with environments translated back through
+        #: the witness bijection lazily.  Requires ``structs`` (a
+        #: :class:`~repro.lang.types.StructRegistry`) for the exactness
+        #: guard; without one the checker silently keeps concrete keys.
+        self.canonical_stream_keys = canonical_stream_keys
+        self.structs = structs
         self.max_steps = max_steps
         self.max_solutions = max_solutions
         self.batch_by_skeleton = batch_by_skeleton
@@ -166,6 +176,9 @@ class ModelChecker:
         )
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Whether the most recent ``_check_uncached`` selection was
+        #: enumeration-order dependent (see its docstring).
+        self.last_check_ambiguous = False
         #: Screening / fail-fast counters (shared with the candidate loop).
         self.screen_stats = ScreeningStats()
         #: Learned refuters: formula shape -> index of the model (within the
@@ -212,9 +225,18 @@ class ModelChecker:
         if entry is not _CACHE_ABSENT:
             self._cache.move_to_end(key)
             self.cache_hits += 1
-            if entry is None:
+            payload, ambiguous = entry
+            # Replay the ambiguity signal on every hit: the dedup layer
+            # snapshots the counter around each location and must see
+            # order-dependent selections even when they are served from the
+            # memo (the cached result itself is deterministic -- it just is
+            # not replayable through an address bijection).
+            self.last_check_ambiguous = ambiguous
+            if ambiguous:
+                self.screen_stats.exact_selection_ambiguities += 1
+            if payload is None:
                 return None
-            residual, consumed, instantiation_items = entry
+            residual, consumed, instantiation_items = payload
             return CheckResult(
                 residual=residual,
                 instantiation={
@@ -226,9 +248,9 @@ class ModelChecker:
         self.cache_misses += 1
         result = self._check_uncached(model, formula)
         if result is None:
-            self._cache[key] = None
+            payload = None
         else:
-            self._cache[key] = (
+            payload = (
                 result.residual,
                 result.consumed,
                 tuple(
@@ -236,6 +258,7 @@ class ModelChecker:
                     for name, value in result.instantiation.items()
                 ),
             )
+        self._cache[key] = (payload, self.last_check_ambiguous)
         if len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
         return result
@@ -258,9 +281,24 @@ class ModelChecker:
         self.cache_misses = 0
 
     def _check_uncached(self, model: StackHeapModel, formula: SymHeap) -> CheckResult | None:
-        """Run the reduction of Definition 2; ``None`` when no reduction exists."""
+        """Run the reduction of Definition 2; ``None`` when no reduction exists.
+
+        Sets ``self.last_check_ambiguous`` when the *selection* among valid
+        reductions was enumeration-order dependent: distinct reductions tied
+        at the selected coverage, the solution cap truncated the
+        enumeration, or the step budget expired.  The isomorphism-dedup
+        layer consults the flag (via the ``exact_selection_ambiguities``
+        counter) because only order-independent selections may be replayed
+        onto address-renamed models -- the enumeration order itself is not
+        renaming-invariant.  (A second full-coverage reduction *after* the
+        early-exit on the first one is necessarily unobserved; full-coverage
+        ties across alpha-equivalent reductions do not occur for the
+        skeleton-shaped candidates Algorithm 2 generates, which pin every
+        argument slot per entry.)
+        """
         env = dict(model.stack)
         unknowns = set(formula.exists)
+        self.last_check_ambiguous = False
         # Free variables of the formula must be interpretable by the stack.
         for name in formula.free_vars():
             if name not in env:
@@ -274,6 +312,7 @@ class ModelChecker:
         domain = model.heap.domain()
         available = set(domain)
         best: CheckResult | None = None
+        ambiguous = False
         try:
             for solution_env, avail in self._solve(spatials, pures, env, unknowns, available, model, state, 0):
                 consumed = domain - avail
@@ -289,11 +328,25 @@ class ModelChecker:
                 )
                 if best is None or len(result.consumed) > len(best.consumed):
                     best = result
+                    ambiguous = False
+                elif len(result.consumed) == len(best.consumed) and (
+                    result.residual != best.residual
+                    or result.instantiation != best.instantiation
+                ):
+                    # A distinct reduction tied at the current best size:
+                    # "first of maximal size" now depends on the order.
+                    ambiguous = True
                 state.solutions += 1
-                if result.covers_everything() or state.solutions >= self.max_solutions:
+                if result.covers_everything():
+                    break
+                if state.solutions >= self.max_solutions:
+                    ambiguous = True
                     break
         except CheckBudgetExceeded:
-            pass
+            ambiguous = True
+        if ambiguous:
+            self.last_check_ambiguous = True
+            self.screen_stats.exact_selection_ambiguities += 1
         if state.max_trail > self.screen_stats.max_trail_depth:
             self.screen_stats.max_trail_depth = state.max_trail
         return best
@@ -324,12 +377,29 @@ class ModelChecker:
         for position, index in enumerate(order):
             result = self.check(models[index], formula)
             if result is None:
-                self._learn_refuter(shape, index)
+                self._learn_refuter_model(shape, models, index)
                 if position == 0:
                     self.screen_stats.refuted_by_first_model += 1
                 return None
             results[index] = result
         return results  # type: ignore[return-value]
+
+    def _refuter_key(self, model: StackHeapModel) -> object | None:
+        """Canonical identity a learned refuter is remembered under.
+
+        With canonical keys on (and a struct registry available) this is the
+        model's canonical form: a model that refuted a shape keeps steering
+        the try order even when later batches contain only address-renamed
+        copies of it.  ``None`` when no exact form is available -- the
+        caller then falls back to the positional index, exactly the
+        pre-canonical behaviour (storing the model itself would put whole
+        heaps in the LRU and deep-compare them on every lookup).
+        """
+        if self.canonical_stream_keys and self.structs is not None:
+            canon = model.canonical(self.structs)
+            if canon.exact:
+                return canon.form
+        return None
 
     def _model_order(self, models: Sequence[StackHeapModel], shape: tuple) -> list[int]:
         """Fail-fast try order: smallest heap first, learned refuter in front."""
@@ -338,14 +408,29 @@ class ModelChecker:
         hint = self._refuters.get(shape)
         if hint is not None:
             self._refuters.move_to_end(shape)
-            if 0 <= hint < count and order[0] != hint:
-                order.remove(hint)
-                order.insert(0, hint)
+            if type(hint) is int:
+                if 0 <= hint < count and order[0] != hint:
+                    order.remove(hint)
+                    order.insert(0, hint)
+            else:
+                for index in order:
+                    if self._refuter_key(models[index]) == hint:
+                        if order[0] != index:
+                            order.remove(index)
+                            order.insert(0, index)
+                        break
         return order
 
-    def _learn_refuter(self, shape: tuple, index: int) -> None:
-        """Record the refuting model for a shape (LRU-bounded)."""
-        self._refuters[shape] = index
+    def _learn_refuter_model(
+        self, shape: tuple, models: Sequence[StackHeapModel], index: int
+    ) -> None:
+        """Remember the refuting model, canonically when possible."""
+        key = self._refuter_key(models[index])
+        self._learn_refuter(shape, index if key is None else key)
+
+    def _learn_refuter(self, shape: tuple, key: object) -> None:
+        """Record the refuting model's key for a shape (LRU-bounded)."""
+        self._refuters[shape] = key
         self._refuters.move_to_end(shape)
         if len(self._refuters) > self.refuters_limit:
             self._refuters.popitem(last=False)
@@ -459,7 +544,7 @@ class ModelChecker:
                 if position == 0:
                     stats.refuted_by_first_model += len(live)
                 continue
-            stream = self._get_stream(skeleton, model, root_position, root_value)
+            stream, view = self._get_stream(skeleton, model, root_position, root_value)
             refuted_here = 0
             for index in live:
                 variant = variants[index]
@@ -481,7 +566,7 @@ class ModelChecker:
                     )
                     matchers[index] = cached
                 verdict = self._decide_variant(
-                    stream, variant, cached[1], values, slot_names, stack, model, domain
+                    stream, view, variant, cached[1], values, slot_names, stack, model, domain
                 )
                 if verdict is None:
                     pending[index] = False
@@ -501,7 +586,7 @@ class ModelChecker:
             # Group-granularity refuter learning: remember the model that
             # settled the most variants of this skeleton shape.
             best = max(refuted_per_model, key=refuted_per_model.__getitem__)
-            self._learn_refuter(shape, best)
+            self._learn_refuter_model(shape, models, best)
 
         outcomes: list = []
         for index in range(total):
@@ -519,6 +604,7 @@ class ModelChecker:
     def _decide_variant(
         self,
         stream: "EnvStream",
+        view: "_StreamView",
         variant: "PureVariant",
         matcher,
         values: tuple[int, ...],
@@ -538,12 +624,19 @@ class ModelChecker:
         reductions that disagree on residual or instantiation -- the verdict
         is :data:`_UNDECIDED` and the caller falls back to the exact search.
 
+        ``view`` translates between this model's concrete addresses and the
+        coordinates the stream stores its entries in: slot comparisons run in
+        stream coordinates (the variant's pinned values are encoded once),
+        while deferred-goal environments and the final residual/instantiation
+        are decoded back to the model's addresses.
+
         Returns ``None`` for a sound refutation (no compatible environment
         in a complete stream), a :class:`CheckResult` when the selection is
         unambiguous, ``_UNDECIDED`` otherwise.
         """
         stats = self.screen_stats
         entries = stream.entries
+        encoded = view.encode_values(values)
         matches = 0
         best_size = -1
         tied: list[tuple[_StreamEntry, dict | None]] = []
@@ -552,7 +645,7 @@ class ModelChecker:
             entry = entries[index]
             index += 1
             stats.pure_variant_evals += 1
-            matched, final_env = matcher(entry, values)
+            matched, final_env = matcher(entry, encoded, values, view)
             if not matched:
                 continue
             matches += 1
@@ -570,20 +663,21 @@ class ModelChecker:
             return _UNDECIDED
         chosen_entry, chosen_env = tied[0]
         instantiation = _variant_instantiation(
-            variant, chosen_entry, chosen_env, stack, slot_names
+            variant, chosen_entry, chosen_env, stack, slot_names, view
         )
         for entry, final_env in tied[1:]:
             if entry.avail != chosen_entry.avail:
                 return _UNDECIDED
             if (
-                _variant_instantiation(variant, entry, final_env, stack, slot_names)
+                _variant_instantiation(variant, entry, final_env, stack, slot_names, view)
                 != instantiation
             ):
                 return _UNDECIDED
+        avail = view.decode_avail(chosen_entry.avail)
         return CheckResult(
-            residual=model.heap.restrict(chosen_entry.avail),
+            residual=model.heap.restrict(avail),
             instantiation=instantiation,
-            consumed=domain - chosen_entry.avail,
+            consumed=domain - avail,
         )
 
     def _get_stream(
@@ -592,7 +686,7 @@ class ModelChecker:
         model: StackHeapModel,
         root_position: int,
         root_value: int,
-    ) -> "EnvStream":
+    ) -> "tuple[EnvStream, _StreamView]":
         """The (memoized) solution stream of one skeleton against one model.
 
         The memo key deliberately drops everything the relaxed search cannot
@@ -602,26 +696,56 @@ class ModelChecker:
         that alias the same structure through different pointer variables --
         or share a residual heap across result branches -- therefore share
         one enumeration.
+
+        With ``canonical_stream_keys`` (and a struct registry, and an exact
+        canonicalization) the concrete ``(root value, heap)`` tail of the key
+        is replaced by ``(root orbit, canonical heap form)``: address-renamed
+        copies of a heap then share one stream, whose entries are stored in
+        canonical coordinates and translated per consumer by the returned
+        :class:`_StreamView` (the witness bijection, applied lazily).
         """
         atom = skeleton.spatial_atoms()[0]
-        key = (atom.name, len(atom.args), root_position, root_value, model.heap)
+        canon = None
+        if self.canonical_stream_keys and self.structs is not None:
+            heap_canon = model.heap.canonical(root_value, self.structs)
+            if heap_canon.exact:
+                canon = heap_canon
+        if canon is None:
+            key = (atom.name, len(atom.args), root_position, root_value, model.heap)
+            view = _IDENTITY_VIEW
+        else:
+            key = (atom.name, len(atom.args), root_position, canon.root_tag, canon.form)
+            view = _StreamView(canon)
         streams = self._streams
         stream = streams.get(key)
         if stream is not None:
             streams.move_to_end(key)
             self.screen_stats.env_stream_reuses += 1
-            return stream
+            if canon is not None and (
+                stream.source_root != root_value
+                or stream.source_heap_hash != hash(model.heap)
+            ):
+                # This hit only exists because of canonical keying: the
+                # consumer's concrete heap differs from the one the stream
+                # was generated from.  Hash comparison (cached on the heap)
+                # keeps the classification O(1); a collision miscounting a
+                # hit as concrete only skews this statistic, nothing else.
+                self.screen_stats.canonical_stream_hits += 1
+            return stream, view
         stream = EnvStream(
             self._iter_skeleton_leaves(model, skeleton),
             tuple(arg.name for arg in atom.args),
             len(model.heap),
             self.stream_max_entries,
+            canon=canon,
+            source_root=root_value,
+            source_heap_hash=hash(model.heap),
         )
         streams[key] = stream
         if len(streams) > self.stream_cache_size:
             streams.popitem(last=False)
         self.screen_stats.skeletons_solved += 1
-        return stream
+        return stream, view
 
     def _iter_skeleton_leaves(self, model: StackHeapModel, skeleton: SymHeap):
         """Raw-leaf enumeration of the skeleton search (EnvStream source).
@@ -1089,41 +1213,97 @@ def build_skeleton(name: str, arity: int, root: str, root_position: int) -> SymH
     return SymHeap(exists=exists, spatial=PredApp(name, slots))
 
 
+class _StreamView:
+    """Translation between one model's addresses and a stream's coordinates.
+
+    A stream generated under canonical keying stores its entries in
+    *canonical space*: address values appear as the tagged pairs of the
+    generating heap's canonical labeling.  A consumer of the stream (any
+    model whose heap has the same canonical form) sees those entries through
+    a view built from its *own* labeling of the same form -- encoding its
+    concrete query values into canonical space for slot comparisons, and
+    decoding environments, availability sets and instantiation values back
+    into its concrete addresses.  The identity view (``canon=None``) serves
+    concretely-keyed streams at (near) zero cost.
+    """
+
+    __slots__ = ("canon",)
+
+    def __init__(self, canon):
+        self.canon = canon
+
+    def encode_values(self, values: tuple) -> tuple:
+        canon = self.canon
+        if canon is None:
+            return values
+        to_tag = canon.to_tag
+        return tuple(to_tag.get(value, value) for value in values)
+
+    def decode_value(self, value):
+        if self.canon is None or type(value) is not tuple:
+            return value
+        return self.canon.from_addr[value[1]]
+
+    def decode_avail(self, avail: frozenset) -> frozenset:
+        canon = self.canon
+        if canon is None:
+            return avail
+        from_addr = canon.from_addr
+        return frozenset(from_addr[cid] for cid in avail)
+
+    def decode_env(self, env: dict) -> dict:
+        """A fresh, concrete copy of a stored environment (always a copy:
+        the matcher extends it in place)."""
+        canon = self.canon
+        if canon is None:
+            return dict(env)
+        from_addr = canon.from_addr
+        return {
+            name: from_addr[value[1]] if type(value) is tuple else value
+            for name, value in env.items()
+        }
+
+
+_IDENTITY_VIEW = _StreamView(None)
+
+
 def _compile_matcher(positions, slot_names, discharge):
     """Compile a variant's pinned slot positions into an entry evaluator.
 
     Compiled once per variant (the pinned *positions* are static); the
-    per-model *values* arrive as a tuple aligned with ``positions``.  The
-    evaluator decides whether one streamed environment is compatible with
-    the variant's bindings: pinned slots must agree with the entry's values
-    (an unbound slot is compatible with anything -- nothing on the leaf's
-    path constrained it), and entries carrying deferred pure goals re-run
-    the ``_discharge_deferred`` endgame under the extended environment,
-    exactly as the per-candidate search would.  It returns ``(matched,
-    final_env)`` where ``final_env`` is the endgame's witness environment
-    (``None`` for entries without deferred goals).
+    per-model values arrive per call, both in stream coordinates (``values``,
+    for the slot comparisons) and concretely (``concrete``, for the deferred
+    endgame).  The evaluator decides whether one streamed environment is
+    compatible with the variant's bindings: pinned slots must agree with the
+    entry's values (an unbound slot is compatible with anything -- nothing on
+    the leaf's path constrained it), and entries carrying deferred pure goals
+    re-run the ``_discharge_deferred`` endgame under the extended (decoded)
+    environment, exactly as the per-candidate search would.  It returns
+    ``(matched, final_env)`` where ``final_env`` is the endgame's witness
+    environment in the consumer's concrete space (``None`` for entries
+    without deferred goals).
     """
     names = tuple(slot_names[position] for position in positions)
     if len(positions) == 1:
         (position,) = positions
         name = names[0]
 
-        def match_one(entry, values):
+        def match_one(entry, values, concrete, view):
             slot = entry.values[position]
             value = values[0]
             if slot is not None and slot != value:
                 return False, None
             if entry.deferred is None:
                 return True, None
-            env = dict(entry.env)
+            env = view.decode_env(entry.env)
             if env.get(name) is None:
-                env[name] = value
+                env[name] = concrete[0]
             final_env = discharge(list(entry.deferred), env, entry.unknowns)
             return final_env is not None, final_env
 
         return match_one
 
-    def match_many(entry, values):
+    def match_many(entry, values, concrete, view):
         entry_values = entry.values
         for position, value in zip(positions, values):
             slot = entry_values[position]
@@ -1131,8 +1311,8 @@ def _compile_matcher(positions, slot_names, discharge):
                 return False, None
         if entry.deferred is None:
             return True, None
-        env = dict(entry.env)
-        for name, value in zip(names, values):
+        env = view.decode_env(entry.env)
+        for name, value in zip(names, concrete):
             if env.get(name) is None:
                 env[name] = value
         final_env = discharge(list(entry.deferred), env, entry.unknowns)
@@ -1147,6 +1327,7 @@ def _variant_instantiation(
     final_env: dict | None,
     stack: dict[str, int],
     slot_names: tuple[str, ...],
+    view: "_StreamView",
 ) -> dict[str, int]:
     """The candidate's existential instantiation at one stream entry.
 
@@ -1154,6 +1335,8 @@ def _variant_instantiation(
     search (or the deferred endgame) pinned its slot to; a fresh name that
     collides with a stack variable resolves to the stack value (the search
     seeds its environment from the stack); unconstrained names are omitted.
+    Values read from the entry are decoded into the consumer's addresses
+    (``final_env`` is already concrete).
     """
     instantiation: dict[str, int] = {}
     for position, name in variant.free_slots:
@@ -1164,7 +1347,7 @@ def _variant_instantiation(
         if final_env is not None:
             value = final_env.get(slot_names[position])
         else:
-            value = entry.values[position]
+            value = view.decode_value(entry.values[position])
         if value is not None:
             instantiation[name] = value
     return instantiation
@@ -1186,17 +1369,48 @@ class EnvStream:
     exhausted enumeration (refutations may be trusted) from one cut off by
     the step budget or the entry cap (consumers must fall back to exact
     checks).
+
+    Under canonical keying (``canon`` set) the snapshots are stored in
+    canonical space -- slot values and environments through the generating
+    heap's address tags, availability sets as canonical ids -- so that any
+    consumer with the same canonical form can read them through its own
+    :class:`_StreamView`.  ``source_root``/``source_heap_hash`` identify
+    the concrete (root value, heap) the stream was generated from, letting
+    the checker cheaply count the hits that only canonical keying made
+    possible.
     """
 
-    __slots__ = ("slot_names", "entries", "complete", "_source", "_heap_size", "_max_entries")
+    __slots__ = (
+        "slot_names",
+        "entries",
+        "complete",
+        "source_root",
+        "source_heap_hash",
+        "_source",
+        "_heap_size",
+        "_max_entries",
+        "_canon",
+    )
 
-    def __init__(self, source, slot_names: tuple[str, ...], heap_size: int, max_entries: int):
+    def __init__(
+        self,
+        source,
+        slot_names: tuple[str, ...],
+        heap_size: int,
+        max_entries: int,
+        canon=None,
+        source_root: int | None = None,
+        source_heap_hash: int | None = None,
+    ):
         self.slot_names = slot_names
         self.entries: list[_StreamEntry] = []
         self.complete = False
+        self.source_root = source_root
+        self.source_heap_hash = source_heap_hash
         self._source = source
         self._heap_size = heap_size
         self._max_entries = max_entries
+        self._canon = canon
 
     def ensure(self, index: int) -> bool:
         """Materialize entries up to ``index``; False when none exists."""
@@ -1214,15 +1428,31 @@ class EnvStream:
             except CheckBudgetExceeded:
                 self._source = None
                 return False
+            canon = self._canon
             entry = _StreamEntry()
-            entry.values = tuple(env.get(name) for name in self.slot_names)
-            entry.avail = frozenset(available)
+            if canon is None:
+                entry.values = tuple(env.get(name) for name in self.slot_names)
+                entry.avail = frozenset(available)
+            else:
+                to_tag = canon.to_tag
+                entry.values = tuple(
+                    to_tag.get(value, value) if value is not None else None
+                    for value in (env.get(name) for name in self.slot_names)
+                )
+                to_id = canon.to_id
+                entry.avail = frozenset(to_id[addr] for addr in available)
             entry.nconsumed = self._heap_size - len(available)
             if deferred:
                 # The endgame is re-run per variant: keep the leaf's full
                 # environment and scope alongside the deferred goals.
                 entry.deferred = tuple(deferred)
-                entry.env = dict(env)
+                if canon is None:
+                    entry.env = dict(env)
+                else:
+                    to_tag = canon.to_tag
+                    entry.env = {
+                        name: to_tag.get(value, value) for name, value in env.items()
+                    }
                 entry.unknowns = frozenset(unknowns)
             else:
                 entry.deferred = None

@@ -19,6 +19,210 @@ from repro.sl.errors import HeapError
 from repro.sl.exprs import NIL_VALUE
 
 
+# ---------------------------------------------------------------------------
+# Canonical labeling (address-bijection invariants)
+# ---------------------------------------------------------------------------
+#
+# Two stack-heap models that differ only by a bijection on their allocated
+# addresses satisfy exactly the same symbolic-heap formulae (for the fragment
+# this reproduction checks: pointer values are only ever compared for
+# equality, followed, or tested for allocation -- never ordered or used in
+# arithmetic).  Canonical labeling makes that equivalence *observable*: a
+# deterministic DFS from the sorted stack roots renames addresses to dense
+# canonical ids, and models (or bare heaps) with equal canonical forms are
+# isomorphic, with the composed relabelings as the witness bijection.
+#
+# Encoding.  In a canonical form every *address occurrence* (a value that
+# lies in ``dom(h)`` at a position typed as a pointer) is replaced by the
+# tagged pair ``('a', cid)``; every other value is kept raw.  The tag keeps
+# renamed addresses from colliding with untouched integer data, so equal
+# forms really do mean "same structure, same data, addresses renamed".
+#
+# Exactness guard.  The invariance argument needs every renamed value to be
+# used only as a pointer.  With a :class:`~repro.lang.types.StructRegistry`
+# the field types decide that exactly; a model where an *integer-typed*
+# field (or integer-typed stack variable) coincidentally holds an allocated
+# address is marked ``exact=False`` and excluded from any sharing, as is
+# every canonicalization performed without struct information.  Consumers
+# (the isomorphism dedup in the driver, the canonical stream keys in the
+# checker) only ever share work between ``exact`` forms.
+
+
+class CanonicalForm:
+    """An interned canonical form: value identity with a precomputed hash."""
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, CanonicalForm):
+            return NotImplemented
+        return self._hash == other._hash and self.key == other.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CanonicalForm({self._hash:#x})"
+
+
+#: Process-wide intern table: canonical key -> shared :class:`CanonicalForm`.
+#: Populating it before forking engine workers lets the children inherit
+#: every known form copy-on-write (see ``InferenceEngine`` warm-pool mode).
+_INTERN_FORMS: dict[tuple, CanonicalForm] = {}
+_INTERN_LIMIT = 65_536
+
+
+def intern_form(key: tuple) -> CanonicalForm:
+    """The shared :class:`CanonicalForm` for ``key`` (process-wide)."""
+    form = _INTERN_FORMS.get(key)
+    if form is None:
+        if len(_INTERN_FORMS) >= _INTERN_LIMIT:
+            # Safety valve: forms are tiny, but unbounded growth across a
+            # long-lived engine process is still growth.  Dropping the table
+            # only loses sharing of *identity*, never correctness.
+            _INTERN_FORMS.clear()
+        form = CanonicalForm(key)
+        _INTERN_FORMS[key] = form
+    return form
+
+
+def intern_table_size() -> int:
+    """Number of canonical forms currently interned in this process."""
+    return len(_INTERN_FORMS)
+
+
+class HeapCanon:
+    """The canonical labeling of one heap (relative to a DFS seed order).
+
+    ``to_id`` maps each allocated address to its dense canonical id (1-based,
+    in DFS-visit order); ``to_tag`` maps it to the tagged pair used inside
+    canonical forms; ``from_addr`` is the inverse (index 0 unused).  ``exact``
+    is the exactness guard described in the module notes; ``root_tag`` is the
+    encoded seed value (``('a', 1)`` whenever the seed is allocated).
+    """
+
+    __slots__ = ("form", "exact", "to_id", "to_tag", "from_addr", "root_tag")
+
+    def __init__(self, form, exact, to_id, to_tag, from_addr, root_tag):
+        self.form = form
+        self.exact = exact
+        self.to_id = to_id
+        self.to_tag = to_tag
+        self.from_addr = from_addr
+        self.root_tag = root_tag
+
+    def encode(self, value: int):
+        """Canonical-space image of a concrete value (tag or raw)."""
+        return self.to_tag.get(value, value)
+
+    def decode(self, value):
+        """Concrete image of a canonical-space value (tag or raw)."""
+        if type(value) is tuple:
+            return self.from_addr[value[1]]
+        return value
+
+
+class ModelCanon:
+    """The canonical labeling of one stack-heap model (stack roots as seeds)."""
+
+    __slots__ = ("form", "exact", "to_id", "to_tag", "from_addr")
+
+    def __init__(self, form, exact, to_id, to_tag, from_addr):
+        self.form = form
+        self.exact = exact
+        self.to_id = to_id
+        self.to_tag = to_tag
+        self.from_addr = from_addr
+
+
+def _label_addresses(cells: Mapping[int, "HeapCell"], seeds: Iterable[int]) -> list[int]:
+    """Visit order of a deterministic DFS from ``seeds``.
+
+    Seeds are taken in the given order; successors are field values that are
+    themselves allocated, followed in declaration order.  Addresses not
+    reachable from any seed are appended in ascending address order (each
+    starting its own DFS), which keeps the labeling total and deterministic
+    -- though only the seeded part is invariant under address renaming.
+    """
+    order: list[int] = []
+    seen: set[int] = set()
+
+    def visit(start: int) -> None:
+        stack = [start]
+        while stack:
+            addr = stack.pop()
+            if addr in seen:
+                continue
+            seen.add(addr)
+            order.append(addr)
+            # Reversed so the first declared field is explored first.
+            for value in reversed(cells[addr].values):
+                if value != NIL_VALUE and value not in seen and value in cells:
+                    stack.append(value)
+
+    for seed in seeds:
+        if seed in cells and seed not in seen:
+            visit(seed)
+    if len(seen) != len(cells):
+        for addr in sorted(cells):
+            if addr not in seen:
+                visit(addr)
+    return order
+
+
+def _build_labeling(cells, seeds, structs):
+    """The full canonical labeling of one cell map: DFS order, both address
+    maps, the inverse, the encoded cell tuple and the exactness verdict.
+
+    Shared by :meth:`Heap.canonical` and :meth:`StackHeapModel.canonical` so
+    the tag encoding and id base can never drift apart between the two --
+    cross-consumer form equality depends on them being identical.
+    """
+    order = _label_addresses(cells, seeds)
+    to_id = {addr: position + 1 for position, addr in enumerate(order)}
+    to_tag = {addr: ("a", cid) for addr, cid in to_id.items()}
+    from_addr = (0, *order)
+    encoded, exact = _encode_cells(cells, order, to_tag, structs)
+    return to_id, to_tag, from_addr, encoded, exact
+
+
+def _encode_cells(cells, order, to_tag, structs) -> tuple[tuple, bool]:
+    """Canonical cell tuple (in id order) plus the exactness verdict."""
+    exact = structs is not None
+    encoded = []
+    for addr in order:
+        cell = cells[addr]
+        struct = structs.get(cell.type_name) if structs is not None and cell.type_name in structs else None
+        if struct is None:
+            # Unknown structure type: fall back to the value-based heuristic
+            # (anything allocated is treated as a pointer) and drop the
+            # exactness claim.
+            exact = False
+            fields = tuple(
+                (name, to_tag.get(value, value)) for name, value in cell.fields
+            )
+        else:
+            fields = []
+            for name, value in cell.fields:
+                if struct.field_type(name).endswith("*"):
+                    fields.append((name, to_tag.get(value, value)))
+                else:
+                    if value in to_tag:
+                        # An integer field holding an allocated address: the
+                        # renaming could change arithmetic over this value.
+                        exact = False
+                    fields.append((name, value))
+            fields = tuple(fields)
+        encoded.append((cell.type_name, fields))
+    return tuple(encoded), exact
+
+
 @dataclass(frozen=True)
 class HeapCell:
     """A single allocated cell: its structure type and field values."""
@@ -69,22 +273,28 @@ class HeapCell:
 class Heap:
     """An immutable finite partial map from addresses to :class:`HeapCell`."""
 
-    __slots__ = ("_cells", "_hash", "_domain")
+    __slots__ = ("_cells", "_hash", "_domain", "_canon", "_reach")
 
     def __init__(self, cells: Mapping[int, HeapCell] | None = None):
         self._cells: dict[int, HeapCell] = dict(cells) if cells else {}
         self._hash: int | None = None
         self._domain: frozenset[int] | None = None
+        #: Per-root canonical labelings (see :meth:`canonical`).
+        self._canon: dict[int, HeapCanon] | None = None
+        #: Memoized reachability (see :meth:`reachable_from`).
+        self._reach: dict[tuple[int, ...], frozenset[int]] | None = None
 
     def __getstate__(self) -> dict[int, HeapCell]:
-        # Cached hash/domain are per-process (string hashing is salted);
-        # ship only the cells across pickle boundaries.
+        # Cached hash/domain/canon are per-process (string hashing is
+        # salted); ship only the cells across pickle boundaries.
         return self._cells
 
     def __setstate__(self, state: dict[int, HeapCell]) -> None:
         self._cells = state
         self._hash = None
         self._domain = None
+        self._canon = None
+        self._reach = None
 
     # -- mapping interface ----------------------------------------------------
 
@@ -170,9 +380,21 @@ class Heap:
         return self.remove(other.domain())
 
     def reachable_from(self, roots: Iterable[int]) -> frozenset[int]:
-        """Addresses of cells reachable from ``roots`` by following field values."""
+        """Addresses of cells reachable from ``roots`` by following field values.
+
+        Memoized per (normalized) root set: the variable-ordering heuristic,
+        the heap splitter and the candidate screens all re-ask the same
+        reachability questions about the same (immutable) heap.
+        """
+        key = tuple(sorted(set(roots)))
+        cache = self._reach
+        if cache is None:
+            cache = self._reach = {}
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         seen: set[int] = set()
-        stack = [addr for addr in roots if addr in self._cells]
+        stack = [addr for addr in key if addr in self._cells]
         while stack:
             addr = stack.pop()
             if addr in seen:
@@ -181,7 +403,37 @@ class Heap:
             for value in self._cells[addr].values:
                 if value != NIL_VALUE and value in self._cells and value not in seen:
                     stack.append(value)
-        return frozenset(seen)
+        result = frozenset(seen)
+        cache[key] = result
+        return result
+
+    # -- canonical labeling ----------------------------------------------------
+
+    def canonical(self, root: int, structs=None) -> HeapCanon:
+        """Canonical labeling of this heap with the DFS seeded at ``root``.
+
+        Cached per root value.  The cache deliberately ignores ``structs``
+        identity: a heap lives inside one program, whose struct registry does
+        not change over the heap's lifetime.
+        """
+        cache = self._canon
+        if cache is None:
+            cache = self._canon = {}
+        cached = cache.get(root)
+        if cached is not None:
+            return cached
+        cells = self._cells
+        to_id, to_tag, from_addr, encoded, exact = _build_labeling(cells, (root,), structs)
+        canon = HeapCanon(
+            form=intern_form(("h", encoded)),
+            exact=exact,
+            to_id=to_id,
+            to_tag=to_tag,
+            from_addr=from_addr,
+            root_tag=to_tag.get(root, root),
+        )
+        cache[root] = canon
+        return canon
 
 
 @dataclass(frozen=True)
@@ -232,7 +484,7 @@ class StackHeapModel:
         # Drop the per-process caches (salted hashes, derived dicts) so a
         # pickled model re-derives them in the receiving interpreter.
         state = dict(self.__dict__)
-        for cache in ("_hash", "_stack_map", "_types_map"):
+        for cache in ("_hash", "_stack_map", "_types_map", "_canonical", "_pointer_vars"):
             state.pop(cache, None)
         return state
 
@@ -274,9 +526,17 @@ class StackHeapModel:
         """True when the stack binds ``var``."""
         return var in self.stack_map
 
-    def pointer_vars(self) -> list[str]:
-        """Stack variables with a pointer type (or untyped variables that hold addresses)."""
-        types = self.type_dict
+    def pointer_vars(self) -> tuple[str, ...]:
+        """Stack variables with a pointer type (or untyped variables that hold addresses).
+
+        Computed once per model (the variable-ordering heuristic, the heap
+        splitter and pure inference all re-ask it); callers must not mutate
+        the returned tuple's backing (they cannot -- it is a tuple).
+        """
+        cached = self.__dict__.get("_pointer_vars")
+        if cached is not None:
+            return cached
+        types = self.types_map
         result = []
         for name, value in self.stack:
             var_type = types.get(name)
@@ -285,7 +545,60 @@ class StackHeapModel:
                     result.append(name)
             elif value == NIL_VALUE or value in self.heap:
                 result.append(name)
-        return result
+        cached = tuple(result)
+        object.__setattr__(self, "_pointer_vars", cached)
+        return cached
+
+    # -- canonical labeling -----------------------------------------------------
+
+    def canonical(self, structs=None) -> ModelCanon:
+        """Canonical labeling of the model, seeded from the sorted stack roots.
+
+        Models with equal (``exact``) canonical forms are isomorphic: they
+        have the same stack variables, types and data, and their heaps differ
+        only by the address bijection ``other.from_addr . self.to_id``.
+        Cached per model; the cache ignores ``structs`` identity (one program,
+        one registry -- see :meth:`Heap.canonical`).
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is not None:
+            return cached
+        cells = self.heap._cells
+        types = self.types_map
+        seeds = [value for _, value in sorted(self.stack)]
+        to_id, to_tag, from_addr, encoded, exact = _build_labeling(cells, seeds, structs)
+        stack_enc = []
+        for name, value in self.stack:
+            var_type = types.get(name)
+            if var_type is None:
+                # Untyped stack variable (e.g. the ghost ``res``): treated as
+                # a pointer whenever it holds an allocated address, exactly
+                # like :meth:`pointer_vars` does.
+                stack_enc.append((name, to_tag.get(value, value)))
+            elif var_type.endswith("*"):
+                stack_enc.append((name, to_tag.get(value, value)))
+            else:
+                if value in to_tag:
+                    # Integer variable coincidentally holding an address: the
+                    # renaming could change its arithmetic meaning.
+                    exact = False
+                stack_enc.append((name, value))
+        freed_enc = tuple(
+            sorted(
+                (to_tag.get(addr, addr) for addr in self.freed_addresses),
+                key=lambda item: (1, item[1]) if type(item) is tuple else (0, item),
+            )
+        )
+        key = ("m", tuple(stack_enc), self.var_types, encoded, freed_enc)
+        canon = ModelCanon(
+            form=intern_form(key),
+            exact=exact,
+            to_id=to_id,
+            to_tag=to_tag,
+            from_addr=from_addr,
+        )
+        object.__setattr__(self, "_canonical", canon)
+        return canon
 
     def has_freed_cells(self) -> bool:
         """True when the snapshot observed cells that had already been freed."""

@@ -76,6 +76,15 @@ class ScreeningStats:
     env_stream_reuses: int = 0
     pure_variant_evals: int = 0
     batch_exact_fallbacks: int = 0
+    #: Stream-memo hits that only canonical keying made possible: the
+    #: consuming model's concrete (root value, heap) differs from the one
+    #: the stream was generated from (see ``ModelChecker._get_stream``).
+    canonical_stream_hits: int = 0
+    #: Exact-search selections that were enumeration-order dependent (tied
+    #: best reductions, solution-cap truncation, budget expiry).  The
+    #: isomorphism-dedup layer snapshots this around each location: such
+    #: selections must not be replayed onto address-renamed models.
+    exact_selection_ambiguities: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -90,6 +99,8 @@ class ScreeningStats:
             "env_stream_reuses": self.env_stream_reuses,
             "pure_variant_evals": self.pure_variant_evals,
             "batch_exact_fallbacks": self.batch_exact_fallbacks,
+            "canonical_stream_hits": self.canonical_stream_hits,
+            "exact_selection_ambiguities": self.exact_selection_ambiguities,
         }
 
 

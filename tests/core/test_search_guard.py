@@ -64,7 +64,15 @@ class TestSearchSpaceGuard:
         """
         stats = run_workload(name)
         recorded = baseline[name]
-        for key in ("candidate_groups", "skeletons_solved", "env_stream_reuses"):
+        for key in (
+            "candidate_groups",
+            "skeletons_solved",
+            "env_stream_reuses",
+            "iso_classes",
+            "models_deduped",
+            "canonical_stream_hits",
+            "iso_exact_fallbacks",
+        ):
             assert stats[key] == recorded[key], (
                 f"{name}: {key} changed from {recorded[key]} to {stats[key]} "
                 "(see tests/data/search_guard_baseline.json)"
@@ -99,6 +107,10 @@ class TestSearchSpaceGuard:
             "env_stream_reuses",
             "pure_variant_evals",
             "batch_exact_fallbacks",
+            "iso_classes",
+            "models_deduped",
+            "canonical_stream_hits",
+            "iso_exact_fallbacks",
         ):
             assert key in stats, f"cache_stats() lost the {key!r} counter"
 
@@ -123,6 +135,8 @@ class TestScreeningNeverChangesResults:
                 checker_fail_fast=False,
                 checker_prune_cases=False,
                 batch_by_skeleton=False,
+                dedupe_isomorphic_models=False,
+                canonical_stream_keys=False,
             )
         )
         assert screened == unscreened

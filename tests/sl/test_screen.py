@@ -170,6 +170,8 @@ class TestScreeningStats:
             "env_stream_reuses",
             "pure_variant_evals",
             "batch_exact_fallbacks",
+            "canonical_stream_hits",
+            "exact_selection_ambiguities",
         }
 
 
