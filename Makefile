@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-micro bench-smoke bench-smoke-engine bench-compare docs table1 table2
+.PHONY: check test smoke bench bench-micro bench-smoke bench-smoke-engine bench-compare bench-warm docs table1 table2
 
 # Tier-1 gate: the full test suite (which includes the deterministic
 # search-space guard), a CLI smoke test, the micro/ablation benchmark
@@ -64,6 +64,19 @@ bench-compare:
 		--compare benchmarks/BENCH_engine.json --compare-threshold 0.60 \
 		--assert-accel 1.3 --out /tmp/bench_compare.json
 	@echo "bench compare OK (report: /tmp/bench_compare.json)"
+
+# Warm-start gate: a cold sweep writes the persistent cache, a warm sweep
+# re-reads it, and the run fails unless the warm disk hit rate is >= 0.9
+# and both sweeps reproduce the cache-less reference bit-identically.
+# WARM_CACHE defaults to a throwaway file; point it at a kept path (as the
+# CI warm-start job does, via actions/cache keyed on the predicate-registry
+# fingerprint) to measure warm starts across invocations.
+bench-warm:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --warm-start \
+		--limit 2 --quiet --assert-warm-hit 0.9 \
+		$(if $(WARM_CACHE),--cache-file $(WARM_CACHE),) \
+		--out /tmp/bench_warm.json
+	@echo "warm-start bench OK (report: /tmp/bench_warm.json)"
 
 docs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro docs

@@ -41,7 +41,7 @@ def _is_full_sweep(arguments: list[str]) -> bool:
     Only full sweeps are comparable trajectory points; a restricted run must
     never overwrite the committed ``BENCH_engine.json`` baseline.
     """
-    narrowing = ("--limit", "--category")
+    narrowing = ("--limit", "--category", "--warm-start")
     return not any(
         arg in narrowing or arg.startswith(tuple(f"{flag}=" for flag in narrowing))
         for arg in arguments

@@ -1,0 +1,127 @@
+"""Serialization between the checker's in-memory caches and cache rows.
+
+Two invariants shape everything here:
+
+* **Keys must be byte-stable across processes.**  The in-memory cache keys
+  contain :class:`~repro.sl.model.CanonicalForm` objects whose hashes are
+  salted per process (``PYTHONHASHSEED``), and pickle output depends on
+  memoization order -- neither may ever be used as a database key.  Keys
+  are therefore rendered through :func:`stable_key_bytes`: canonical forms
+  are unwrapped to their raw key tuples (plain ``str``/``int`` nests whose
+  ``repr`` is deterministic) and the whole key is ``repr``-encoded.
+* **Payloads must not smuggle process-local state.**  Stream entries are
+  stored in canonical space already (tags ``('a', cid)``, dense ids) and
+  are name-self-contained, so they pickle as plain data.  Canonical forms
+  inside refuter payloads are reduced to their raw key tuples and
+  re-interned with :func:`~repro.sl.model.intern_form` on load, restoring
+  the identity-based fast path.  Unfolding templates contain compiled
+  closures and are *never* pickled -- only their keys are persisted and the
+  templates are recompiled on load (:meth:`InductivePredicate.warm_unfold_template`).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.sl.checker import EnvStream, _StreamEntry
+from repro.sl.model import CanonicalForm, intern_form
+
+
+def _strip_forms(value):
+    """Replace every CanonicalForm in a key nest by a stable marker tuple."""
+    if isinstance(value, CanonicalForm):
+        return ("__cf__", value.key)
+    if isinstance(value, tuple):
+        return tuple(_strip_forms(item) for item in value)
+    return value
+
+
+def stable_key_bytes(key) -> bytes:
+    """Byte-stable rendering of a cache key (see the module docstring)."""
+    return repr(_strip_forms(key)).encode("utf-8")
+
+
+# ------------------------------------------------------------------ streams --
+
+
+def encode_stream(stream: EnvStream) -> bytes:
+    """Pickle a *complete* canonical-space stream as plain data."""
+    if not stream.complete:
+        raise ValueError("only complete streams may be persisted")
+    entries = [
+        (
+            entry.values,
+            entry.avail,
+            entry.nconsumed,
+            entry.env,
+            entry.unknowns,
+            entry.deferred,
+        )
+        for entry in stream.entries
+    ]
+    payload = {
+        "slot_names": stream.slot_names,
+        "entries": entries,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_stream(payload: bytes, max_entries: int) -> EnvStream:
+    """Rebuild an :class:`EnvStream` from :func:`encode_stream` output.
+
+    The result has no generator source and ``complete=True`` -- exactly the
+    state an exhausted in-memory stream would be in.  ``source_root`` and
+    ``source_heap_hash`` stay ``None``: the generating heap lived in another
+    process, so every in-memory hit on a disk-loaded stream is, correctly, a
+    canonical-keying win.
+    """
+    data = pickle.loads(payload)
+    stream = EnvStream(None, tuple(data["slot_names"]), 0, max_entries)
+    for values, avail, nconsumed, env, unknowns, deferred in data["entries"]:
+        entry = _StreamEntry()
+        entry.values = tuple(values)
+        entry.avail = frozenset(avail)
+        entry.nconsumed = nconsumed
+        entry.env = dict(env) if env is not None else None
+        entry.unknowns = frozenset(unknowns) if unknowns is not None else None
+        entry.deferred = tuple(deferred) if deferred is not None else None
+        stream.entries.append(entry)
+    stream.complete = True
+    return stream
+
+
+# ----------------------------------------------------------------- refuters --
+
+
+def encode_refuter(shape, form: CanonicalForm) -> tuple[bytes, bytes]:
+    """``(key, payload)`` row for one learned refuter.
+
+    Only canonical-form refuter values are persistable (integer values are
+    batch-relative model indexes, meaningless across runs); callers filter.
+    """
+    payload = pickle.dumps(
+        (tuple(shape), form.key), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return stable_key_bytes(shape), payload
+
+
+def decode_refuter(payload: bytes):
+    """``(shape, interned CanonicalForm)`` from :func:`encode_refuter` output."""
+    shape, form_key = pickle.loads(payload)
+    return tuple(shape), intern_form(form_key)
+
+
+# --------------------------------------------------------------- unfoldings --
+
+
+def encode_unfold_key(pred_name: str, case_index: int, key) -> tuple[bytes, bytes]:
+    """``(key, payload)`` row for one unfolding-template cache key."""
+    record = (pred_name, case_index, tuple(key))
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return stable_key_bytes(record), payload
+
+
+def decode_unfold_key(payload: bytes):
+    """``(predicate name, case index, argument-shape key)`` from a row payload."""
+    pred_name, case_index, key = pickle.loads(payload)
+    return pred_name, case_index, tuple(key)

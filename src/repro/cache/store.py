@@ -1,0 +1,447 @@
+"""SQLite-backed storage for the persistent checker cache.
+
+One cache file holds the serialized state of the three canonical-keyed
+in-memory caches (see :mod:`repro.cache.tier`): skeleton ``EnvStream``
+snapshots, learned refuters and predicate-unfolding template keys.  The
+store itself is deliberately dumb -- rows of ``(fingerprint, kind, key,
+payload)`` blobs with hit-count/recency metadata -- and deliberately
+*defensive*: any sqlite or filesystem failure (corrupted file, truncated
+write, permission error) disables the store for the rest of the process,
+logs one warning, bumps :attr:`CacheStore.load_errors` and makes every
+operation a no-op.  A broken cache file must never be able to crash or
+slow down an inference run beyond running it cold.
+
+Invalidation is two-layered:
+
+* ``CACHE_SCHEMA_VERSION`` (stored in the ``meta`` table) covers the
+  *serialization format*: opening a file written under a different version
+  wipes its entries and starts cold.
+* the per-row ``fingerprint`` column covers the *predicate definitions*
+  (see :mod:`repro.cache.fingerprint`): rows written under a different
+  registry are simply never matched, so a predicate change invalidates
+  without destroying other registries' entries.
+
+``sqlite3`` is part of the CPython standard library; no new dependency is
+introduced.  WAL journaling plus a generous busy timeout make concurrent
+flushes from several engine workers safe (last writer wins per key, which
+is fine: entries are content-addressed by their canonical keys).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sqlite3
+import time
+
+log = logging.getLogger("repro.cache")
+
+#: Version of the serialized entry formats.  Bump on ANY change to the
+#: stream/refuter/unfold encodings in :mod:`repro.cache.serialize` or to
+#: the table layout below: a mismatch wipes the file's entries (cold
+#: start), never a crash and never a misread.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cap on stored entries per cache file; beyond it the rows with
+#: the oldest ``last_used`` (ties: lowest ``hit_count``, then insertion
+#: order) are evicted at flush time.
+DEFAULT_MAX_ENTRIES = 100_000
+
+#: Process-global preloaded row tables, keyed by absolute cache-file path.
+#: Populated by :func:`preload_cache_file` in the engine parent *before*
+#: the worker pool forks, so every worker inherits the table copy-on-write
+#: (the same trick the canonical-form intern table uses) and stream
+#: lookups need no sqlite round-trip.  Lookups missing here still fall
+#: back to the database, so a stale preload is merely slower, never wrong.
+_PRELOADED: dict[str, dict[tuple[str, str, bytes], bytes]] = {}
+
+
+def preload_cache_file(path) -> int:
+    """Read every row of a cache file into process memory (fork-after-load).
+
+    Returns the number of rows preloaded; any failure logs, counts inside
+    the temporary store and preloads nothing (0).  Safe to call for a file
+    that does not exist yet.
+    """
+    abspath = os.path.abspath(os.fspath(path))
+    store = CacheStore(path)
+    rows: dict[tuple[str, str, bytes], bytes] = {}
+    try:
+        for fingerprint, kind, key, payload in store.iter_rows():
+            rows[(fingerprint, kind, bytes(key))] = payload
+    finally:
+        store.close()
+    _PRELOADED[abspath] = rows
+    return len(rows)
+
+
+def preloaded_rows(path) -> dict[tuple[str, str, bytes], bytes] | None:
+    """The preloaded row table for ``path`` (``None`` when not preloaded)."""
+    return _PRELOADED.get(os.path.abspath(os.fspath(path)))
+
+
+class CacheStore:
+    """One persistent cache file (see the module docstring).
+
+    Every public method is total: after any underlying failure the store
+    flips into a disabled state where reads miss and writes vanish, with
+    ``load_errors`` counting how often something had to be ignored.
+    """
+
+    def __init__(self, path, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.path = os.fspath(path)
+        self.max_entries = max_entries
+        #: Failures swallowed so far (corruption, version skew, IO errors).
+        self.load_errors = 0
+        self._conn: sqlite3.Connection | None = None
+        self._failed = False
+
+    # ------------------------------------------------------------ plumbing --
+
+    def _fail(self, exc: BaseException) -> None:
+        """Disable the store after a failure (logged once, counted)."""
+        if not self._failed:
+            log.warning(
+                "persistent cache %s unusable (%s: %s); continuing with a cold run",
+                self.path,
+                type(exc).__name__,
+                exc,
+            )
+        self._failed = True
+        self.load_errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def _connect(self) -> sqlite3.Connection | None:
+        """The lazily opened connection; ``None`` once the store is disabled."""
+        if self._failed:
+            return None
+        if self._conn is not None:
+            return self._conn
+        try:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " fingerprint TEXT NOT NULL,"
+                " kind TEXT NOT NULL,"
+                " key BLOB NOT NULL,"
+                " payload BLOB NOT NULL,"
+                " hit_count INTEGER NOT NULL DEFAULT 0,"
+                " last_used REAL NOT NULL,"
+                " created REAL NOT NULL,"
+                " PRIMARY KEY (fingerprint, kind, key))"
+            )
+            version = str(_schema_version())
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (version,),
+                )
+                conn.commit()
+            elif row[0] != version:
+                # Version skew: the file was written by an incompatible
+                # serialization format.  Wipe and start cold -- reading the
+                # old payloads would be unsound, keeping them useless.
+                log.warning(
+                    "persistent cache %s has schema version %s (expected %s); "
+                    "discarding its entries and starting cold",
+                    self.path,
+                    row[0],
+                    version,
+                )
+                conn.execute("DELETE FROM entries")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (version,),
+                )
+                conn.commit()
+            self._conn = conn
+            return conn
+        except (sqlite3.Error, OSError, ValueError) as exc:
+            self._fail(exc)
+            return None
+
+    def close(self) -> None:
+        """Close the underlying connection (the store may be reopened)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    # ------------------------------------------------------------- reads --
+
+    def get(self, fingerprint: str, kind: str, key: bytes) -> bytes | None:
+        """The payload stored under ``(fingerprint, kind, key)``, if any.
+
+        Consults the process-global preloaded table first (fork-after-load),
+        then the database.
+        """
+        preloaded = preloaded_rows(self.path)
+        if preloaded is not None:
+            payload = preloaded.get((fingerprint, kind, key))
+            if payload is not None:
+                return payload
+        conn = self._connect()
+        if conn is None:
+            return None
+        try:
+            row = conn.execute(
+                "SELECT payload FROM entries WHERE fingerprint = ? AND kind = ? AND key = ?",
+                (fingerprint, kind, key),
+            ).fetchone()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return None
+        return row[0] if row is not None else None
+
+    def iter_kind(self, fingerprint: str, kind: str) -> list[tuple[bytes, bytes]]:
+        """All ``(key, payload)`` rows of one kind, least recently used first.
+
+        The LRU-friendly order lets callers replay rows into an in-memory
+        LRU structure so the most recently used entries end up freshest.
+        """
+        conn = self._connect()
+        if conn is None:
+            return []
+        try:
+            return conn.execute(
+                "SELECT key, payload FROM entries"
+                " WHERE fingerprint = ? AND kind = ?"
+                " ORDER BY last_used ASC, rowid ASC",
+                (fingerprint, kind),
+            ).fetchall()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return []
+
+    def iter_rows(self) -> list[tuple[str, str, bytes, bytes]]:
+        """Every row of the store (used by preload and export)."""
+        conn = self._connect()
+        if conn is None:
+            return []
+        try:
+            return conn.execute(
+                "SELECT fingerprint, kind, key, payload FROM entries"
+                " ORDER BY last_used ASC, rowid ASC"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return []
+
+    # ------------------------------------------------------------- writes --
+
+    def put_many(
+        self,
+        fingerprint: str,
+        kind: str,
+        items: list[tuple[bytes, bytes]],
+        now: float | None = None,
+    ) -> int:
+        """Insert (or replace) ``(key, payload)`` rows; returns rows written."""
+        if not items:
+            return 0
+        conn = self._connect()
+        if conn is None:
+            return 0
+        stamp = time.time() if now is None else now
+        try:
+            conn.executemany(
+                "INSERT OR REPLACE INTO entries"
+                " (fingerprint, kind, key, payload, hit_count, last_used, created)"
+                " VALUES (?, ?, ?, ?, 0, ?, ?)",
+                [(fingerprint, kind, key, payload, stamp, stamp) for key, payload in items],
+            )
+            conn.commit()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return 0
+        return len(items)
+
+    def touch_many(
+        self,
+        fingerprint: str,
+        kind: str,
+        keys: list[bytes],
+        now: float | None = None,
+    ) -> None:
+        """Record reuse: bump hit counts and recency of the given keys."""
+        if not keys:
+            return
+        conn = self._connect()
+        if conn is None:
+            return
+        stamp = time.time() if now is None else now
+        try:
+            conn.executemany(
+                "UPDATE entries SET hit_count = hit_count + 1, last_used = ?"
+                " WHERE fingerprint = ? AND kind = ? AND key = ?",
+                [(stamp, fingerprint, kind, key) for key in keys],
+            )
+            conn.commit()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+
+    def evict_over_cap(self) -> int:
+        """Drop the stalest rows beyond ``max_entries``; returns rows evicted.
+
+        Eviction order is least recently used first, ties broken by lowest
+        hit count and then insertion order -- so a warmed, frequently hit
+        entry outlives a one-shot one of the same age.
+        """
+        conn = self._connect()
+        if conn is None:
+            return 0
+        try:
+            (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+            excess = count - self.max_entries
+            if excess <= 0:
+                return 0
+            conn.execute(
+                "DELETE FROM entries WHERE rowid IN ("
+                " SELECT rowid FROM entries"
+                " ORDER BY last_used ASC, hit_count ASC, rowid ASC LIMIT ?)",
+                (excess,),
+            )
+            conn.commit()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return 0
+        return excess
+
+    def clear(self) -> int:
+        """Delete every entry (the schema/meta rows stay); returns rows dropped."""
+        conn = self._connect()
+        if conn is None:
+            return 0
+        try:
+            (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+            conn.execute("DELETE FROM entries")
+            conn.commit()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return 0
+        return count
+
+    # ------------------------------------------------------------ metadata --
+
+    def file_bytes(self) -> int:
+        """On-disk size of the cache (main database plus WAL, if present)."""
+        total = 0
+        for suffix in ("", "-wal"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> dict:
+        """A JSON-serializable summary of the store's contents."""
+        info: dict = {
+            "path": os.path.abspath(self.path),
+            "schema_version": _schema_version(),
+            "file_bytes": self.file_bytes(),
+            "max_entries": self.max_entries,
+            "entries": 0,
+            "kinds": {},
+            "fingerprints": {},
+            "load_errors": self.load_errors,
+        }
+        conn = self._connect()
+        if conn is None:
+            info["load_errors"] = self.load_errors
+            return info
+        try:
+            for kind, count, hits in conn.execute(
+                "SELECT kind, COUNT(*), COALESCE(SUM(hit_count), 0)"
+                " FROM entries GROUP BY kind ORDER BY kind"
+            ):
+                info["kinds"][kind] = {"entries": count, "hits": hits}
+                info["entries"] += count
+            for fingerprint, count in conn.execute(
+                "SELECT fingerprint, COUNT(*) FROM entries"
+                " GROUP BY fingerprint ORDER BY fingerprint"
+            ):
+                info["fingerprints"][fingerprint] = count
+        except sqlite3.Error as exc:
+            self._fail(exc)
+        info["load_errors"] = self.load_errors
+        return info
+
+    # -------------------------------------------------------- export/import --
+
+    def export_rows(self) -> dict:
+        """A portable dump of the store (see ``repro cache export``)."""
+        conn = self._connect()
+        rows: list = []
+        if conn is not None:
+            try:
+                rows = conn.execute(
+                    "SELECT fingerprint, kind, key, payload, hit_count, last_used, created"
+                    " FROM entries ORDER BY last_used ASC, rowid ASC"
+                ).fetchall()
+            except sqlite3.Error as exc:
+                self._fail(exc)
+        return {"schema_version": _schema_version(), "rows": rows}
+
+    def import_rows(self, dump: dict) -> int:
+        """Merge a dump produced by :meth:`export_rows` into this store.
+
+        Rows whose key already exists keep the *larger* hit count and the
+        *newer* recency (``max`` merge), so importing a fleet member's cache
+        never makes existing entries look colder.  A dump with a different
+        schema version is refused (0 rows, counted as a load error).
+        """
+        if dump.get("schema_version") != _schema_version():
+            log.warning(
+                "cache import into %s refused: dump schema version %r != %r",
+                self.path,
+                dump.get("schema_version"),
+                _schema_version(),
+            )
+            self.load_errors += 1
+            return 0
+        rows = dump.get("rows", [])
+        if not rows:
+            return 0
+        conn = self._connect()
+        if conn is None:
+            return 0
+        try:
+            conn.executemany(
+                "INSERT INTO entries"
+                " (fingerprint, kind, key, payload, hit_count, last_used, created)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT (fingerprint, kind, key) DO UPDATE SET"
+                "  hit_count = max(hit_count, excluded.hit_count),"
+                "  last_used = max(last_used, excluded.last_used)",
+                rows,
+            )
+            conn.commit()
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return 0
+        return len(rows)
+
+
+def _schema_version() -> int:
+    """The current schema version (indirect so tests can monkeypatch it)."""
+    import repro.cache.store as _self
+
+    return _self.CACHE_SCHEMA_VERSION

@@ -1,0 +1,265 @@
+"""The persistent cache tier: glue between checker caches and the store.
+
+A :class:`PersistentCache` sits *beneath* the three canonical-keyed
+in-memory caches of one :class:`~repro.sl.checker.ModelChecker`:
+
+* the ``EnvStream`` skeleton memo -- served lazily, one stream per miss
+  (:meth:`PersistentCache.load_stream`, called from ``_get_stream`` after
+  an in-memory miss);
+* the learned-refuter table -- bulk-loaded at :meth:`attach` time (only
+  canonical-form refuters persist; integer refuters are batch-relative);
+* the predicate unfolding caches -- template *keys* are persisted and the
+  closures recompiled at attach time (they cannot be pickled).
+
+Only checkers whose stream keys are canonical may attach: concrete keys
+embed process-local heap addresses and hashes, so persisting them would be
+silently wrong across processes.  :meth:`attach` refuses with
+:class:`PersistentCacheError` instead of downgrading (the PR 4 gotcha:
+``ModelChecker`` built without ``structs=`` keeps concrete keys without
+any visible signal).
+
+The tier is write-behind: loads happen during the run, everything new is
+persisted in one :meth:`flush` at the end of an inference (failures inside
+the store never propagate -- see :mod:`repro.cache.store`).
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.cache.fingerprint import registry_fingerprint
+from repro.cache.serialize import (
+    decode_refuter,
+    decode_stream,
+    decode_unfold_key,
+    encode_refuter,
+    encode_stream,
+    encode_unfold_key,
+    stable_key_bytes,
+)
+from repro.cache.store import DEFAULT_MAX_ENTRIES, CacheStore
+from repro.sl.model import CanonicalForm
+
+log = logging.getLogger("repro.cache")
+
+KIND_STREAM = "stream"
+KIND_REFUTER = "refuter"
+KIND_UNFOLD = "unfold"
+
+
+class PersistentCacheError(RuntimeError):
+    """The persistent tier cannot be soundly attached to this checker."""
+
+
+class PersistentCache:
+    """Disk tier for one checker/registry pair (see the module docstring).
+
+    ``disk_hits``/``disk_misses`` count *stream* lookups served from or
+    missed by the disk tier (the per-lookup signal the warm-start hit rate
+    is computed from); bulk refuter/unfold loads are one-shot and appear in
+    the store stats instead.
+    """
+
+    def __init__(self, path, registry, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.registry = registry
+        self.fingerprint = registry_fingerprint(registry)
+        self.store = CacheStore(path, max_entries=max_entries)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_evictions = 0
+        self.cache_file_bytes = 0
+        self._decode_errors = 0
+        self._stream_max_entries = 4096
+        #: Keys already present on disk (loaded or flushed), per kind --
+        #: avoids rewriting rows, which would reset their hit metadata.
+        self._known: dict[str, set[bytes]] = {
+            KIND_STREAM: set(),
+            KIND_REFUTER: set(),
+            KIND_UNFOLD: set(),
+        }
+        #: Stream keys served from disk since the last flush (recency bump).
+        self._touched: set[bytes] = set()
+
+    # ------------------------------------------------------------- attach --
+
+    def attach(self, checker) -> None:
+        """Hook this tier into a checker and warm its bulk-loadable caches.
+
+        Refuses (:class:`PersistentCacheError`) when the checker's stream
+        keys are not canonical -- concrete keys embed per-process addresses
+        and salted hashes, so persisting them would corrupt the cache.
+        """
+        if not getattr(checker, "canonical_stream_keys", False):
+            raise PersistentCacheError(
+                "persistent cache requires canonical stream keys "
+                "(the checker was built with canonical_stream_keys=False)"
+            )
+        if getattr(checker, "structs", None) is None:
+            raise PersistentCacheError(
+                "persistent cache requires canonical stream keys, but this "
+                "checker was built without structs= -- its stream keys "
+                "silently stay concrete (per-process addresses), which is "
+                "exactly what must never reach disk"
+            )
+        self._stream_max_entries = checker.stream_max_entries
+        checker.persistent = self
+        self._warm_refuters(checker)
+        self._warm_unfold_templates()
+        self.cache_file_bytes = self.store.file_bytes()
+
+    def _warm_refuters(self, checker) -> None:
+        """Replay persisted refuters into the checker's LRU table.
+
+        Rows arrive least recently used first, so replaying in order leaves
+        the most recently useful refuters freshest in the LRU.  Only the
+        last ``refuters_limit`` rows are replayed (the table would evict the
+        rest immediately anyway).  Refuters only steer which model a batch
+        tries first -- a wrong or stale one costs a few extra checks, never
+        a wrong verdict -- so this preload cannot affect results.
+        """
+        rows = self.store.iter_kind(self.fingerprint, KIND_REFUTER)
+        limit = getattr(checker, "refuters_limit", None)
+        if limit is not None and len(rows) > limit:
+            rows = rows[-limit:]
+        for key_bytes, payload in rows:
+            try:
+                shape, form = decode_refuter(payload)
+            except Exception as exc:
+                self._note_decode_error(KIND_REFUTER, exc)
+                continue
+            checker._learn_refuter(shape, form)
+            self._known[KIND_REFUTER].add(bytes(key_bytes))
+
+    def _warm_unfold_templates(self) -> None:
+        """Recompile persisted unfolding-template keys into the registry.
+
+        Payloads carry only ``(predicate, case index, argument shape)`` --
+        the compiled closures are rebuilt locally, with the predicate's
+        hit/miss counters snapshotted around the compile so warming is
+        invisible to ``unfold_stats()``.
+        """
+        for key_bytes, payload in self.store.iter_kind(self.fingerprint, KIND_UNFOLD):
+            try:
+                pred_name, case_index, key = decode_unfold_key(payload)
+            except Exception as exc:
+                self._note_decode_error(KIND_UNFOLD, exc)
+                continue
+            if pred_name not in self.registry:
+                continue
+            predicate = self.registry.get(pred_name)
+            if predicate.warm_unfold_template(case_index, key):
+                self._known[KIND_UNFOLD].add(bytes(key_bytes))
+
+    # -------------------------------------------------------------- loads --
+
+    def load_stream(self, key):
+        """The persisted stream under a canonical key, or ``None`` (a miss)."""
+        key_bytes = stable_key_bytes(key)
+        payload = self.store.get(self.fingerprint, KIND_STREAM, key_bytes)
+        if payload is None:
+            self.disk_misses += 1
+            return None
+        try:
+            stream = decode_stream(payload, self._stream_max_entries)
+        except Exception as exc:
+            self._note_decode_error(KIND_STREAM, exc)
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        self._known[KIND_STREAM].add(key_bytes)
+        self._touched.add(key_bytes)
+        return stream
+
+    def _note_decode_error(self, kind: str, exc: BaseException) -> None:
+        if self._decode_errors == 0:
+            log.warning(
+                "persistent cache %s: undecodable %s row (%s: %s); treating as a miss",
+                self.store.path,
+                kind,
+                type(exc).__name__,
+                exc,
+            )
+        self._decode_errors += 1
+
+    # ------------------------------------------------------------- flush --
+
+    def flush(self, checker) -> dict[str, int]:
+        """Write everything learned since the last flush; returns row counts.
+
+        Persists complete canonical-keyed streams, canonical-form refuters
+        and unfolding-template keys; bumps hit metadata for streams served
+        from disk; evicts over the size cap; refreshes ``cache_file_bytes``.
+        """
+        written = {KIND_STREAM: 0, KIND_REFUTER: 0, KIND_UNFOLD: 0}
+
+        stream_rows = []
+        known_streams = self._known[KIND_STREAM]
+        for key, stream in checker._streams.items():
+            if not stream.complete or not isinstance(key[-1], CanonicalForm):
+                continue
+            key_bytes = stable_key_bytes(key)
+            if key_bytes in known_streams:
+                continue
+            stream_rows.append((key_bytes, encode_stream(stream)))
+            known_streams.add(key_bytes)
+        written[KIND_STREAM] = self.store.put_many(
+            self.fingerprint, KIND_STREAM, stream_rows
+        )
+
+        refuter_rows = []
+        known_refuters = self._known[KIND_REFUTER]
+        for shape, value in checker._refuters.items():
+            if not isinstance(value, CanonicalForm):
+                continue
+            key_bytes, payload = encode_refuter(shape, value)
+            if key_bytes in known_refuters:
+                continue
+            refuter_rows.append((key_bytes, payload))
+            known_refuters.add(key_bytes)
+        written[KIND_REFUTER] = self.store.put_many(
+            self.fingerprint, KIND_REFUTER, refuter_rows
+        )
+
+        unfold_rows = []
+        known_unfolds = self._known[KIND_UNFOLD]
+        for predicate in self.registry:
+            for case_index, key in predicate.unfold_cache_keys():
+                key_bytes, payload = encode_unfold_key(predicate.name, case_index, key)
+                if key_bytes in known_unfolds:
+                    continue
+                unfold_rows.append((key_bytes, payload))
+                known_unfolds.add(key_bytes)
+        written[KIND_UNFOLD] = self.store.put_many(
+            self.fingerprint, KIND_UNFOLD, unfold_rows
+        )
+
+        if self._touched:
+            self.store.touch_many(
+                self.fingerprint, KIND_STREAM, sorted(self._touched)
+            )
+            self._touched.clear()
+
+        self.disk_evictions += self.store.evict_over_cap()
+        self.cache_file_bytes = self.store.file_bytes()
+        return written
+
+    # ----------------------------------------------------------- counters --
+
+    @property
+    def disk_load_errors(self) -> int:
+        """Failures absorbed so far (store failures plus undecodable rows)."""
+        return self.store.load_errors + self._decode_errors
+
+    def counters(self) -> dict[str, int]:
+        """The tier's contribution to ``cache_stats()``."""
+        return {
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_evictions": self.disk_evictions,
+            "cache_file_bytes": self.cache_file_bytes,
+            "disk_load_errors": self.disk_load_errors,
+        }
+
+    def close(self) -> None:
+        """Close the underlying store connection."""
+        self.store.close()

@@ -11,7 +11,13 @@ repro``.  Subcommands:
     (``--jobs N``) and as JSON (``--json``).
 ``bench``
     Measure sequential-vs-parallel wall time and cache hit rates of the
-    engine over the Table 1 suite and emit a JSON report.
+    engine over the Table 1 suite and emit a JSON report.  With
+    ``--warm-start`` it instead runs the suite twice against one persistent
+    cache file and reports the cold/warm ratio and disk hit rate.
+``cache``
+    Inspect and manage persistent cache files: ``stats``, ``export``,
+    ``import``, ``clear`` and ``fingerprint`` (the registry fingerprint
+    used as the CI cache key).
 ``docs``
     Regenerate ``docs/predicates.md`` from the predicate standard library.
 
@@ -109,8 +115,60 @@ def _build_parser() -> argparse.ArgumentParser:
             "falls below RATIO"
         ),
     )
+    bench.add_argument(
+        "--warm-start",
+        action="store_true",
+        help=(
+            "persistent-cache mode: run the suite twice against one cache "
+            "file (cold write, warm read) and report the cold/warm ratio "
+            "and disk hit rate instead of the parallel sweeps"
+        ),
+    )
+    bench.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache file for --warm-start (default: a temporary file, "
+            "deleted afterwards; pass a path to keep the warmed cache)"
+        ),
+    )
+    bench.add_argument(
+        "--assert-warm-hit",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "with --warm-start, fail (exit 1) when the warm sweep's disk "
+            "hit rate falls below RATE (e.g. 0.9)"
+        ),
+    )
     bench.add_argument("--quiet", action="store_true", help="suppress progress messages")
     bench.set_defaults(handler=_cmd_bench)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and manage persistent cache files"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "export", "import", "clear", "fingerprint"),
+        help=(
+            "stats: summarize a cache file; export: dump it portably; "
+            "import: merge a dump into a cache file; clear: drop all "
+            "entries; fingerprint: print the standard predicate registry's "
+            "fingerprint (the cache key)"
+        ),
+    )
+    cache.add_argument(
+        "--file", default=None, metavar="PATH", help="the cache file to operate on"
+    )
+    cache.add_argument(
+        "--dump",
+        default=None,
+        metavar="PATH",
+        help="dump file written by export / read by import (default: stdout/stdin)",
+    )
+    cache.set_defaults(handler=_cmd_cache)
 
     docs = subparsers.add_parser("docs", help="regenerate docs/predicates.md")
     docs.add_argument(
@@ -214,6 +272,9 @@ BENCH_REGRESSION_THRESHOLD = 0.20
 
 def _cmd_bench(arguments: argparse.Namespace) -> None:
     progress = None if arguments.quiet else lambda message: print(f"# {message}", file=sys.stderr)
+    if arguments.warm_start:
+        _cmd_bench_warm_start(arguments, progress)
+        return
     # Read the baseline up front: --out may legitimately point at the same
     # file (the accumulating BENCH_engine.json trajectory), and comparing
     # after the write would pit the new report against itself.
@@ -251,6 +312,99 @@ def _cmd_bench(arguments: argparse.Namespace) -> None:
         print(text)
     if failure is not None:
         raise SystemExit(failure)
+
+
+def _cmd_bench_warm_start(arguments: argparse.Namespace, progress) -> None:
+    """``bench --warm-start``: Table 1 twice against one persistent cache file."""
+    import os
+    import tempfile
+
+    from repro.core.engine import benchmark_warm_start
+
+    cache_file = arguments.cache_file
+    temp_dir = None
+    if cache_file is None:
+        temp_dir = tempfile.TemporaryDirectory(prefix="repro-warm-")
+        cache_file = os.path.join(temp_dir.name, "warm.sqlite")
+    try:
+        report = benchmark_warm_start(
+            categories=arguments.category,
+            limit=arguments.limit,
+            seed=arguments.seed,
+            cache_file=cache_file,
+            jobs=arguments.jobs,
+            progress=progress,
+        )
+    finally:
+        if temp_dir is not None:
+            temp_dir.cleanup()
+    text = json.dumps(report, indent=2)
+    failure = None
+    if arguments.assert_warm_hit is not None:
+        hit_rate = report["disk"]["warm"]["hit_rate"]
+        if hit_rate < arguments.assert_warm_hit:
+            failure = (
+                f"bench: warm-start disk hit rate {hit_rate} fell below the "
+                f"required {arguments.assert_warm_hit}"
+            )
+    if arguments.out and failure is None:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {arguments.out}", file=sys.stderr)
+    else:
+        print(text)
+    if failure is not None:
+        raise SystemExit(failure)
+
+
+def _cmd_cache(arguments: argparse.Namespace) -> None:
+    """``repro cache``: inspect and manage persistent cache files."""
+    import pickle
+
+    from repro.cache import CacheStore, registry_fingerprint
+    from repro.sl.stdpreds import standard_predicates
+
+    if arguments.action == "fingerprint":
+        # The registry fingerprint doubles as the CI cache key: predicate
+        # edits change it, so stale warmed caches are never restored.
+        print(registry_fingerprint(standard_predicates()))
+        return
+
+    if arguments.file is None:
+        raise SystemExit(f"cache {arguments.action}: pass --file PATH")
+    store = CacheStore(arguments.file)
+    try:
+        if arguments.action == "stats":
+            print(json.dumps(store.stats(), indent=2))
+        elif arguments.action == "clear":
+            dropped = store.clear()
+            print(f"cleared {dropped} entries from {arguments.file}", file=sys.stderr)
+        elif arguments.action == "export":
+            dump = store.export_rows()
+            if arguments.dump:
+                with open(arguments.dump, "wb") as handle:
+                    pickle.dump(dump, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                print(
+                    f"exported {len(dump['rows'])} entries to {arguments.dump}",
+                    file=sys.stderr,
+                )
+            else:
+                sys.stdout.buffer.write(pickle.dumps(dump, protocol=pickle.HIGHEST_PROTOCOL))
+        elif arguments.action == "import":
+            if arguments.dump:
+                with open(arguments.dump, "rb") as handle:
+                    dump = pickle.load(handle)
+            else:
+                dump = pickle.loads(sys.stdin.buffer.read())
+            merged = store.import_rows(dump)
+            if merged == 0 and store.load_errors:
+                raise SystemExit(
+                    f"cache import: dump rejected (schema mismatch or "
+                    f"unreadable store {arguments.file})"
+                )
+            print(f"imported {merged} entries into {arguments.file}", file=sys.stderr)
+    finally:
+        store.close()
 
 
 def _compare_bench_reports(

@@ -115,6 +115,16 @@ class CacheStats:
     models_deduped: int = 0
     canonical_stream_hits: int = 0
     iso_exact_fallbacks: int = 0
+    # Persistent-cache counters (:mod:`repro.cache`): skeleton streams
+    # served from / missed by the disk tier, rows evicted by the size cap,
+    # on-disk cache size, and failures absorbed (corruption, version skew,
+    # undecodable rows).  All zero unless ``SlingConfig.persistent_cache``
+    # is set -- the search-guard baselines pin exactly that.
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
+    cache_file_bytes: int = 0
+    disk_load_errors: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another job's counters into this one."""
@@ -136,6 +146,14 @@ class CacheStats:
         self.models_deduped += other.models_deduped
         self.canonical_stream_hits += other.canonical_stream_hits
         self.iso_exact_fallbacks += other.iso_exact_fallbacks
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
+        self.disk_evictions += other.disk_evictions
+        self.disk_load_errors += other.disk_load_errors
+        # A size, not a volume: jobs sharing one cache file all report the
+        # same file, so the batch-wide value is the largest observed.
+        if other.cache_file_bytes > self.cache_file_bytes:
+            self.cache_file_bytes = other.cache_file_bytes
         # A depth, not a volume: the batch-wide value is the deepest job.
         if other.max_trail_depth > self.max_trail_depth:
             self.max_trail_depth = other.max_trail_depth
@@ -162,6 +180,12 @@ class CacheStats:
         total = self.skeletons_solved + self.env_stream_reuses
         return self.env_stream_reuses / total if total else 0.0
 
+    @property
+    def disk_hit_rate(self) -> float:
+        """Fraction of disk-tier stream lookups served from the cache file."""
+        total = self.disk_hits + self.disk_misses
+        return self.disk_hits / total if total else 0.0
+
     def as_dict(self) -> dict[str, float]:
         return {
             "checker_hits": self.checker_hits,
@@ -187,6 +211,12 @@ class CacheStats:
             "models_deduped": self.models_deduped,
             "canonical_stream_hits": self.canonical_stream_hits,
             "iso_exact_fallbacks": self.iso_exact_fallbacks,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_hit_rate": round(self.disk_hit_rate, 4),
+            "disk_evictions": self.disk_evictions,
+            "cache_file_bytes": self.cache_file_bytes,
+            "disk_load_errors": self.disk_load_errors,
         }
 
 
@@ -327,6 +357,11 @@ def _dispatch(job: EngineJob) -> tuple[object, CacheStats]:
             models_deduped=result.models_deduped,
             canonical_stream_hits=result.canonical_stream_hits,
             iso_exact_fallbacks=result.iso_exact_fallbacks,
+            disk_hits=result.disk_hits,
+            disk_misses=result.disk_misses,
+            disk_evictions=result.disk_evictions,
+            cache_file_bytes=result.cache_file_bytes,
+            disk_load_errors=result.disk_load_errors,
         )
         return result, cache
 
@@ -384,6 +419,11 @@ def collect_cache_stats(sling, unfold_before: dict[str, int] | None = None) -> C
         models_deduped=stats["models_deduped"],
         canonical_stream_hits=stats["canonical_stream_hits"],
         iso_exact_fallbacks=stats["iso_exact_fallbacks"],
+        disk_hits=stats["disk_hits"],
+        disk_misses=stats["disk_misses"],
+        disk_evictions=stats["disk_evictions"],
+        cache_file_bytes=stats["cache_file_bytes"],
+        disk_load_errors=stats["disk_load_errors"],
     )
 
 
@@ -470,6 +510,21 @@ class InferenceEngine:
         load_all()
         if self.warm_pool:
             warm_worker_state()
+        # Fork-after-load for the persistent cache: read each job's cache
+        # file into the process-global preload table before the pool forks,
+        # so every worker inherits the rows copy-on-write (the same trick
+        # warm_worker_state relies on for the intern table) and stream
+        # lookups need no per-worker sqlite reads.  Preload failures are
+        # absorbed inside the store -- workers then simply read the file
+        # themselves.
+        preloaded: set[str] = set()
+        for job in batch:
+            cache_path = job.config.persistent_cache if job.config else None
+            if cache_path is not None and str(cache_path) not in preloaded:
+                from repro.cache import preload_cache_file
+
+                preload_cache_file(cache_path)
+                preloaded.add(str(cache_path))
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
@@ -634,13 +689,7 @@ def benchmark_engine(
         )
         return time.perf_counter() - start, result
 
-    uncached_config = SlingConfig(
-        discard_crashed_runs=True,
-        checker_cache_size=0,
-        batch_by_skeleton=False,
-        dedupe_isomorphic_models=False,
-        canonical_stream_keys=False,
-    )
+    uncached_config = nocache_sweep_config()
     available_cpus = multiprocessing.cpu_count()
     parallel_skipped: str | None = None
     parallel_note: str | None = None
@@ -713,6 +762,144 @@ def benchmark_engine(
     if parallel_note is not None:
         report["parallel_note"] = parallel_note
     return report
+
+
+def nocache_sweep_config() -> SlingConfig:
+    """The all-accelerations-off configuration of the bench baseline sweep.
+
+    Every optimisation whose result-identity the bench fingerprint
+    comparison asserts is disabled here -- including the persistent cache,
+    which must not leak warm state into the baseline measurement.
+    """
+    return SlingConfig(
+        discard_crashed_runs=True,
+        checker_cache_size=0,
+        batch_by_skeleton=False,
+        dedupe_isomorphic_models=False,
+        canonical_stream_keys=False,
+        persistent_cache=None,
+    )
+
+
+def benchmark_warm_start(
+    categories: Sequence[str] | None = None,
+    limit: int | None = None,
+    seed: int = 0,
+    cache_file: str = "",
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Measure the persistent cache: Table 1 twice against one cache file.
+
+    Three sweeps over the (optionally restricted) Table 1 suite:
+
+    1. a reference sweep with the persistent cache *off* (the result-identity
+       baseline),
+    2. a cold sweep writing ``cache_file``,
+    3. a warm sweep reading the file the cold sweep just wrote.
+
+    When ``cache_file`` already exists -- a cache restored from a previous
+    invocation, as the CI warm-start job does -- the cold sweep is skipped
+    (measuring "cold" against a pre-warmed file would be meaningless) and
+    the warm sweep reads the restored file directly: genuine *cross-run*
+    warmth.  The report then carries ``"resumed": true`` with the cold
+    fields ``null``.
+
+    Every sweep that runs must produce bit-identical invariants
+    (:class:`EngineError` otherwise -- the disk tier's result-identity is
+    asserted, not merely reported).  The report carries the cold/warm wall
+    times and the disk counters of both cache sweeps; the warm sweep's
+    ``disk_hit_rate`` is the headline number (target: >= 0.9, near-zero
+    fresh skeleton solves).
+    """
+    import os
+
+    from repro.evaluation.table1 import run_table1
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    resumed = bool(cache_file) and os.path.exists(cache_file)
+
+    def sweep(config: SlingConfig | None):
+        start = time.perf_counter()
+        result = run_table1(
+            categories=categories,
+            config=config,
+            seed=seed,
+            max_programs_per_category=limit,
+            jobs=jobs,
+        )
+        return time.perf_counter() - start, result
+
+    cached_config = default_job_config(persistent_cache=cache_file)
+
+    sweeps = 2 if resumed else 3
+    say(f"sweep 1/{sweeps}: reference (persistent cache off)")
+    reference_seconds, reference_result = sweep(None)
+    if resumed:
+        say(f"cache file {cache_file} already warm (restored run); skipping cold sweep")
+        cold_seconds, cold_result = None, None
+    else:
+        say(f"sweep 2/{sweeps}: cold, writing {cache_file}")
+        cold_seconds, cold_result = sweep(cached_config)
+    say(f"sweep {sweeps}/{sweeps}: warm, reading {cache_file}")
+    warm_seconds, warm_result = sweep(cached_config)
+
+    reference_fingerprints = table1_fingerprints(reference_result)
+    if cold_result is not None and (
+        table1_fingerprints(cold_result) != reference_fingerprints
+    ):
+        raise EngineError(
+            "cold persistent-cache sweep diverged from the cache-less "
+            "reference; writing the cache file is changing results"
+        )
+    if table1_fingerprints(warm_result) != reference_fingerprints:
+        raise EngineError(
+            "warm persistent-cache sweep diverged from the cache-less "
+            "reference; results served from disk are not bit-identical"
+        )
+
+    cold_cache = cold_result.cache_totals() if cold_result is not None else None
+    warm_cache = warm_result.cache_totals()
+    return {
+        "mode": "warm-start",
+        "resumed": resumed,
+        "benchmarks": sum(row.program_count for row in reference_result.rows),
+        "cache_file": os.path.abspath(cache_file),
+        "jobs": jobs,
+        "wall_seconds": {
+            "reference": round(reference_seconds, 3),
+            "cold": round(cold_seconds, 3) if cold_seconds is not None else None,
+            "warm": round(warm_seconds, 3),
+        },
+        "speedup": {
+            "warm": round(cold_seconds / warm_seconds, 3)
+            if cold_seconds is not None and warm_seconds
+            else None,
+        },
+        "disk": {
+            "cold": None
+            if cold_cache is None
+            else {
+                "disk_hits": cold_cache.disk_hits,
+                "disk_misses": cold_cache.disk_misses,
+                "disk_evictions": cold_cache.disk_evictions,
+                "cache_file_bytes": cold_cache.cache_file_bytes,
+                "disk_load_errors": cold_cache.disk_load_errors,
+            },
+            "warm": {
+                "disk_hits": warm_cache.disk_hits,
+                "disk_misses": warm_cache.disk_misses,
+                "disk_evictions": warm_cache.disk_evictions,
+                "cache_file_bytes": warm_cache.cache_file_bytes,
+                "disk_load_errors": warm_cache.disk_load_errors,
+                "hit_rate": round(warm_cache.disk_hit_rate, 4),
+            },
+        },
+        "identical": True,
+    }
 
 
 def _intern_table_size() -> int:

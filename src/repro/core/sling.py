@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.boundary import split_heap
@@ -99,6 +100,12 @@ class SlingConfig:
     #: Drop the events of test runs that crashed (the paper's LLDB-batch
     #: workflow obtained no usable traces from crashing programs).
     discard_crashed_runs: bool = False
+    #: Path of a disk-backed cache file persisting the checker's
+    #: canonical-keyed caches across runs (see :mod:`repro.cache` and
+    #: ``docs/performance.md``).  ``None`` (the default) keeps the tier
+    #: entirely inert: no file is touched and every code path is identical
+    #: to a cache-less run.  Requires ``canonical_stream_keys``.
+    persistent_cache: str | Path | None = None
 
     def atom_config(self) -> InferAtomConfig:
         """The Algorithm 2 configuration derived from this one."""
@@ -139,6 +146,20 @@ class Sling:
             canonical_stream_keys=self.config.canonical_stream_keys,
             structs=program.structs,
         )
+        #: Disk tier beneath the checker's canonical-keyed caches; ``None``
+        #: unless ``config.persistent_cache`` is set (the default keeps
+        #: every code path identical to a cache-less run).
+        self.persistent_cache = None
+        if self.config.persistent_cache is not None:
+            from repro.cache import PersistentCache
+
+            self.persistent_cache = PersistentCache(
+                self.config.persistent_cache, predicates
+            )
+            # ``attach`` refuses non-canonical checkers; with the Sling
+            # entry point that can only happen when the user explicitly
+            # disabled canonical_stream_keys, so the error is theirs to see.
+            self.persistent_cache.attach(self.checker)
         # Hit/miss counters of the per-inference (variable, models) memo that
         # shares Algorithm 2 runs among result branches.
         self.atom_cache_hits = 0
@@ -170,7 +191,22 @@ class Sling:
             "iso_exact_fallbacks": self.iso_exact_fallbacks,
         }
         stats.update(self.checker.screen_stats.as_dict())
+        if self.persistent_cache is not None:
+            stats.update(self.persistent_cache.counters())
+        else:
+            stats.update(
+                disk_hits=0,
+                disk_misses=0,
+                disk_evictions=0,
+                cache_file_bytes=0,
+                disk_load_errors=0,
+            )
         return stats
+
+    def flush_persistent(self) -> None:
+        """Write everything the checker learned to the persistent cache tier."""
+        if self.persistent_cache is not None:
+            self.persistent_cache.flush(self.checker)
 
     # ------------------------------------------------------------------ tracing --
 
@@ -425,7 +461,11 @@ class Sling:
         traces = self.collect(function_name, test_cases, locations=[location_name])
         models = traces.models_at(Location(function_name, location_name))
         free_vars = self._free_vars_for(function_name, location_name)
-        return self.infer_from_models(models, location=location_name, free_vars=free_vars)
+        invariants = self.infer_from_models(
+            models, location=location_name, free_vars=free_vars
+        )
+        self.flush_persistent()
+        return invariants
 
     def infer_function(
         self, function_name: str, test_cases: Sequence[TestCase]
@@ -472,6 +512,7 @@ class Sling:
             specification.loop_invariants[loop_location] = invariants
 
         specification.validated = self._validate(specification, traces, function_name)
+        self.flush_persistent()
         specification.inference_seconds = time.perf_counter() - start
         return specification
 

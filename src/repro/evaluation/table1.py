@@ -74,6 +74,13 @@ class ProgramResult:
     models_deduped: int = 0
     canonical_stream_hits: int = 0
     iso_exact_fallbacks: int = 0
+    # Persistent-cache counters (all zero unless the run set
+    # ``SlingConfig.persistent_cache``; see :mod:`repro.cache`).
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
+    cache_file_bytes: int = 0
+    disk_load_errors: int = 0
 
     def as_dict(self, include_invariants: bool = False) -> dict:
         """JSON-serializable view (used by ``python -m repro table1 --json``)."""
@@ -108,6 +115,11 @@ class ProgramResult:
             "models_deduped": self.models_deduped,
             "canonical_stream_hits": self.canonical_stream_hits,
             "iso_exact_fallbacks": self.iso_exact_fallbacks,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_evictions": self.disk_evictions,
+            "cache_file_bytes": self.cache_file_bytes,
+            "disk_load_errors": self.disk_load_errors,
         }
         if include_invariants and self.specification is not None:
             data["inferred"] = [
@@ -233,6 +245,11 @@ class Table1Result:
                         models_deduped=program.models_deduped,
                         canonical_stream_hits=program.canonical_stream_hits,
                         iso_exact_fallbacks=program.iso_exact_fallbacks,
+                        disk_hits=program.disk_hits,
+                        disk_misses=program.disk_misses,
+                        disk_evictions=program.disk_evictions,
+                        cache_file_bytes=program.cache_file_bytes,
+                        disk_load_errors=program.disk_load_errors,
                     )
                 )
         return totals
@@ -321,6 +338,11 @@ def evaluate_program(
         models_deduped=cache.models_deduped,
         canonical_stream_hits=cache.canonical_stream_hits,
         iso_exact_fallbacks=cache.iso_exact_fallbacks,
+        disk_hits=cache.disk_hits,
+        disk_misses=cache.disk_misses,
+        disk_evictions=cache.disk_evictions,
+        cache_file_bytes=cache.cache_file_bytes,
+        disk_load_errors=cache.disk_load_errors,
     )
 
 

@@ -192,6 +192,10 @@ class ModelChecker:
         self.stream_cache_size = stream_cache_size
         self.stream_max_entries = stream_max_entries
         self._streams: OrderedDict[tuple, EnvStream] = OrderedDict()
+        #: Optional disk tier beneath the canonical-keyed caches (set by
+        #: :meth:`repro.cache.tier.PersistentCache.attach`; ``None`` keeps
+        #: every code path byte-identical to the cache-less checker).
+        self.persistent = None
 
     # ------------------------------------------------------------------ API --
 
@@ -732,6 +736,18 @@ class ModelChecker:
                 # hit as concrete only skews this statistic, nothing else.
                 self.screen_stats.canonical_stream_hits += 1
             return stream, view
+        if canon is not None and self.persistent is not None:
+            # Disk tier, canonical keys only: a persisted stream is a
+            # finished enumeration in canonical space, directly readable
+            # through this consumer's view.  Deliberately counts neither
+            # ``skeletons_solved`` (nothing was solved) nor
+            # ``env_stream_reuses`` (nothing was in memory).
+            loaded = self.persistent.load_stream(key)
+            if loaded is not None:
+                streams[key] = loaded
+                if len(streams) > self.stream_cache_size:
+                    streams.popitem(last=False)
+                return loaded, view
         stream = EnvStream(
             self._iter_skeleton_leaves(model, skeleton),
             tuple(arg.name for arg in atom.args),

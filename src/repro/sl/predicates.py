@@ -226,6 +226,33 @@ class InductivePredicate:
             object.__setattr__(self, "_case_screens", screens)
         return screens
 
+    def unfold_cache_keys(self) -> list[tuple[int, tuple[str, ...]]]:
+        """The ``(case index, argument shape)`` keys memoized so far.
+
+        The compiled templates themselves contain closures and cannot be
+        serialized; the persistent cache stores these keys and recompiles
+        via :meth:`warm_unfold_template` on load.
+        """
+        return list(self._unfold_cache)
+
+    def warm_unfold_template(self, index: int, key: tuple[str, ...]) -> bool:
+        """Precompile one unfolding template (persistent-cache warm start).
+
+        Returns ``False`` for an out-of-range case index (a stale cache row
+        for a since-edited predicate; harmless to skip).  The hit/miss
+        counters are snapshotted around the compile so warming is invisible
+        to ``unfold_stats()`` and the pinned counter baselines.
+        """
+        if index < 0 or index >= len(self.cases):
+            return False
+        stats = self._unfold_stats
+        snapshot = (stats[0], stats[1])
+        try:
+            self._template_entry(index, key)
+        finally:
+            stats[0], stats[1] = snapshot
+        return True
+
     def unfold_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of this predicate's unfolding memo."""
         return {

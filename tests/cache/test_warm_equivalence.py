@@ -1,0 +1,244 @@
+"""Cross-process equivalence of warm (persistent-cache) and cold runs.
+
+The persistent cache is the first optimisation whose bugs can silently
+cross process boundaries -- a per-process salted hash or a concrete heap
+address smuggled into a cache row would corrupt *another* run's results.
+These tests therefore drive real ``subprocess`` boundaries:
+
+* two representative benchsuite inferences run cold in a fresh process,
+  then warm in another fresh process against the cache file the cold run
+  wrote, under *different* ``PYTHONHASHSEED`` values (any salted hash that
+  leaked into the cache shows up as a divergence here);
+* a hypothesis property test that a warm checker's ``check_batch`` verdicts
+  equal a cold checker's for random model/candidate pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import PersistentCache
+from repro.core.infer_atom import Candidate, _candidate_variant
+from repro.lang import standard_structs
+from repro.sl.checker import BATCH_VACUOUS, ModelChecker, build_skeleton
+from repro.sl.exprs import Nil, Var
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.spatial import PredApp, SymHeap
+from repro.sl.stdpreds import standard_predicates
+
+_ROOT = Path(__file__).parent.parent.parent
+
+#: The representative benchmarks of the cross-process suite: one singly- and
+#: one doubly-linked workload, both exercising segment predicates and the
+#: deferred endgame.
+_BENCHMARKS = ("sll/reverse", "dll/append")
+
+_RUNNER = """
+import json, sys
+from repro.benchsuite.registry import get_benchmark
+from repro.core.sling import Sling, SlingConfig
+
+name, cache_file = sys.argv[1], sys.argv[2]
+benchmark = get_benchmark(name)
+config = SlingConfig(
+    discard_crashed_runs=True,
+    persistent_cache=cache_file or None,
+)
+sling = Sling(benchmark.program, benchmark.predicates, config)
+specification = sling.infer_function(benchmark.function, benchmark.test_cases(0))
+print(json.dumps({
+    "invariants": [inv.pretty() for inv in specification.all_invariants()],
+    "validated": specification.validated,
+    "stats": sling.cache_stats(),
+}))
+"""
+
+
+def _run_inference(name: str, cache_file: str, hash_seed: str) -> dict:
+    """Run one benchmark inference in a fresh interpreter process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    # Different hash salts per process: a salted hash (CanonicalForm._hash,
+    # hash(heap), Var.__hash__) leaking into a cache row diverges here.
+    env["PYTHONHASHSEED"] = hash_seed
+    completed = subprocess.run(
+        [sys.executable, "-c", _RUNNER, name, cache_file],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=_ROOT,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+@pytest.mark.parametrize("name", _BENCHMARKS)
+def test_warm_subprocess_reproduces_cold_run_bit_identically(name, tmp_path):
+    cache_file = str(tmp_path / "shared.sqlite")
+
+    reference = _run_inference(name, "", hash_seed="101")
+    cold = _run_inference(name, cache_file, hash_seed="202")
+    warm = _run_inference(name, cache_file, hash_seed="303")
+
+    # Bit-identical invariants across the cache-less reference, the cold
+    # writer and the warm reader -- three processes, three hash salts.
+    assert cold["invariants"] == reference["invariants"]
+    assert warm["invariants"] == reference["invariants"]
+    assert cold["validated"] == reference["validated"]
+    assert warm["validated"] == reference["validated"]
+
+    # The tier actually did something: the cold run wrote (all misses), the
+    # warm run was served from disk with zero fresh skeleton solves beyond
+    # the streams that were never persistable (incomplete enumerations).
+    assert reference["stats"]["disk_hits"] == 0
+    assert reference["stats"]["disk_misses"] == 0
+    assert cold["stats"]["disk_misses"] > 0
+    assert warm["stats"]["disk_hits"] > 0
+    assert warm["stats"]["disk_load_errors"] == 0
+    assert warm["stats"]["skeletons_solved"] == warm["stats"]["disk_misses"]
+    total = warm["stats"]["disk_hits"] + warm["stats"]["disk_misses"]
+    assert warm["stats"]["disk_hits"] / total >= 0.9
+
+    # And the screening counters the baselines pin are unchanged by warmth.
+    for key in ("candidates_generated", "candidates_checked", "candidate_groups"):
+        assert warm["stats"][key] == reference["stats"][key]
+
+
+def test_shared_cache_across_different_benchmarks(tmp_path):
+    """A cache warmed by one benchmark must never corrupt another's results."""
+    cache_file = str(tmp_path / "shared.sqlite")
+    first = _run_inference("sll/reverse", cache_file, hash_seed="7")
+    reference = _run_inference("dll/append", "", hash_seed="8")
+    second = _run_inference("dll/append", cache_file, hash_seed="9")
+    assert second["invariants"] == reference["invariants"]
+    assert first["stats"]["disk_load_errors"] == 0
+    assert second["stats"]["disk_load_errors"] == 0
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: warm verdicts == cold verdicts for random model/candidate pairs
+# ---------------------------------------------------------------------------
+
+_PREDICATES = standard_predicates()
+_STRUCTS = standard_structs()
+_FRESH = ("u91", "u92")
+
+
+def _sll_heap(size: int) -> dict[int, HeapCell]:
+    return {
+        index: HeapCell("SllNode", {"next": index + 1 if index < size else 0})
+        for index in range(1, size + 1)
+    }
+
+
+def _stack_value(choice: int, size: int) -> int:
+    if choice == 0 or size == 0:
+        return 0
+    if choice <= size:
+        return choice
+    return 997  # dangling
+
+
+def _candidates(pred_name: str, boundary: list[str], root: str) -> list[Candidate]:
+    predicate = _PREDICATES.get(pred_name)
+    pool = list(boundary) + list(_FRESH[: max(predicate.arity - 1, 0)])
+    fresh = set(_FRESH)
+    seen: set[tuple] = set()
+    out: list[Candidate] = []
+    for permutation in itertools.permutations(pool, predicate.arity):
+        if root not in permutation:
+            continue
+        signature = tuple("?" if name in fresh else name for name in permutation)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        out.append(Candidate(permutation, fresh))
+    return out
+
+
+def _variants_by_position(pred_name: str, boundary: list[str], root: str):
+    groups: dict[int, list] = {}
+    for candidate in _candidates(pred_name, boundary, root):
+        position = candidate.permutation.index(root)
+        used_fresh = tuple(n for n in candidate.permutation if n in candidate.fresh)
+        formula = SymHeap(
+            exists=used_fresh,
+            spatial=PredApp(
+                pred_name,
+                [Nil() if n == "nil" else Var(n) for n in candidate.permutation],
+            ),
+        )
+        groups.setdefault(position, []).append(
+            _candidate_variant(candidate, formula, position)
+        )
+    return groups
+
+
+def _outcome_key(outcomes):
+    rendered = []
+    for outcome in outcomes:
+        if outcome is None:
+            rendered.append(None)
+        elif outcome is BATCH_VACUOUS:
+            rendered.append("BATCH_VACUOUS")
+        else:
+            rendered.append(
+                [
+                    (r.residual, tuple(sorted(r.instantiation.items())), r.consumed)
+                    for r in outcome
+                ]
+            )
+    return rendered
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+    y_choice=st.integers(min_value=0, max_value=7),
+    pred=st.sampled_from(["sll", "lseg"]),
+)
+def test_warm_checker_verdicts_equal_cold(tmp_path_factory, sizes, y_choice, pred):
+    models = [
+        StackHeapModel(
+            {"x": 1 if size else 0, "y": _stack_value(y_choice, size)},
+            Heap(_sll_heap(size)),
+            {"x": "SllNode*", "y": "SllNode*"},
+        )
+        for size in sizes
+    ]
+    groups = _variants_by_position(pred, ["x", "y", "nil"], "x")
+    predicate = _PREDICATES.get(pred)
+    # One fresh cache file per example (hypothesis reuses the test frame).
+    cache_dir = tmp_path_factory.mktemp("warm-prop")
+    cache_file = cache_dir / "cache.sqlite"
+
+    cold = ModelChecker(_PREDICATES, structs=_STRUCTS)
+    cold_tier = PersistentCache(cache_file, _PREDICATES)
+    cold_tier.attach(cold)
+    cold_outcomes = {}
+    for position, variants in groups.items():
+        skeleton = build_skeleton(pred, predicate.arity, "x", position)
+        cold_outcomes[position] = cold.check_batch(models, skeleton, variants)
+    cold_tier.flush(cold)
+    cold_tier.close()
+
+    warm = ModelChecker(_PREDICATES, structs=_STRUCTS)
+    warm_tier = PersistentCache(cache_file, _PREDICATES)
+    warm_tier.attach(warm)
+    for position, variants in groups.items():
+        skeleton = build_skeleton(pred, predicate.arity, "x", position)
+        warm_outcomes = warm.check_batch(models, skeleton, variants)
+        assert _outcome_key(warm_outcomes) == _outcome_key(cold_outcomes[position]), (
+            f"warm verdicts for {pred} at root position {position} diverged "
+            "from the cold checker's"
+        )
+    warm_tier.close()

@@ -72,6 +72,13 @@ class TestSearchSpaceGuard:
             "models_deduped",
             "canonical_stream_hits",
             "iso_exact_fallbacks",
+            # Pinned at zero: the persistent cache tier must be provably
+            # inert for default (cache-off) runs.
+            "disk_hits",
+            "disk_misses",
+            "disk_evictions",
+            "cache_file_bytes",
+            "disk_load_errors",
         ):
             assert stats[key] == recorded[key], (
                 f"{name}: {key} changed from {recorded[key]} to {stats[key]} "
@@ -111,6 +118,11 @@ class TestSearchSpaceGuard:
             "models_deduped",
             "canonical_stream_hits",
             "iso_exact_fallbacks",
+            "disk_hits",
+            "disk_misses",
+            "disk_evictions",
+            "cache_file_bytes",
+            "disk_load_errors",
         ):
             assert key in stats, f"cache_stats() lost the {key!r} counter"
 
@@ -140,3 +152,19 @@ class TestScreeningNeverChangesResults:
             )
         )
         assert screened == unscreened
+
+
+class TestNocacheSweepDisablesPersistentCache:
+    """The bench's all-optimisations-off fingerprint baseline must not read
+    or write a persistent cache either -- warm state leaking into the
+    reference sweep would make the identity assertion vacuous."""
+
+    def test_nocache_sweep_config_has_no_persistent_cache(self):
+        from repro.core.engine import nocache_sweep_config
+
+        config = nocache_sweep_config()
+        assert config.persistent_cache is None
+        assert config.canonical_stream_keys is False
+        assert config.batch_by_skeleton is False
+        assert config.dedupe_isomorphic_models is False
+        assert config.checker_cache_size == 0
