@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-micro bench-smoke bench-smoke-engine bench-compare bench-warm docs table1 table2
+.PHONY: check test smoke trace-smoke lint-timing bench bench-micro bench-smoke bench-smoke-engine bench-compare bench-warm docs table1 table2
 
 # Tier-1 gate: the full test suite (which includes the deterministic
 # search-space guard), a CLI smoke test, the micro/ablation benchmark
@@ -11,7 +11,7 @@ PYTHONPATH := src
 # the full engine bench gated against the committed trajectory -- one
 # command.  (bench-smoke-engine, not bench-smoke: `test` already ran the
 # guard.)
-check: test smoke bench-micro bench-smoke-engine bench-compare
+check: lint-timing test smoke trace-smoke bench-micro bench-smoke-engine bench-compare
 
 # The pytest-benchmark harnesses (checker scaling, variable-order ablation)
 # exercised as plain tests: their assertions catch API or counter drift that
@@ -28,6 +28,34 @@ smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro table1 --category SLL --limit 2 --json > /dev/null
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro docs --stdout > /dev/null
 	@echo "CLI smoke test OK"
+
+# Produce a real trace end to end and prove every consumer of it works:
+# a traced table1 run writes the NDJSON stream (parsed and schema-checked
+# by `trace summary`), the Chrome export must be loadable JSON, and `trace
+# diff` must accept the file against itself.  CI uploads the artifacts.
+trace-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro table1 --category SLL --limit 2 --json \
+		--trace-out /tmp/trace_smoke.ndjson > /dev/null
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace summary /tmp/trace_smoke.ndjson
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace export --format chrome \
+		--out /tmp/trace_smoke.chrome.json /tmp/trace_smoke.ndjson
+	$(PYTHON) -c "import json; d = json.load(open('/tmp/trace_smoke.chrome.json')); \
+		assert d['traceEvents'], 'empty chrome export'"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace diff \
+		/tmp/trace_smoke.ndjson /tmp/trace_smoke.ndjson > /dev/null
+	@echo "trace smoke OK (trace: /tmp/trace_smoke.ndjson)"
+
+# There is exactly one sanctioned clock: repro.telemetry.monotime.  Bare
+# time.perf_counter() calls outside the telemetry package bypass the tracer
+# and creep back into ad-hoc timing -- fail the gate if any appear.
+lint-timing:
+	@if grep -rn "perf_counter" --include='*.py' src/repro benchmarks \
+		| grep -v "^src/repro/telemetry/"; then \
+		echo "error: bare perf_counter outside src/repro/telemetry/;" \
+			"import monotime from repro.telemetry instead"; \
+		exit 1; \
+	fi
+	@echo "timing lint OK"
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_engine.py --jobs 4 --limit 2

@@ -79,6 +79,9 @@ class PersistentCache:
         }
         #: Stream keys served from disk since the last flush (recency bump).
         self._touched: set[bytes] = set()
+        #: Optional span tracer (set by the owning :class:`Sling`; ``None``
+        #: keeps loads and flushes on the untraced fast path).
+        self.tracer = None
 
     # ------------------------------------------------------------- attach --
 
@@ -154,6 +157,14 @@ class PersistentCache:
 
     def load_stream(self, key):
         """The persisted stream under a canonical key, or ``None`` (a miss)."""
+        if self.tracer is None:
+            return self._load_stream(key)
+        with self.tracer.span("disk_io", name="load_stream") as span:
+            stream = self._load_stream(key)
+            span.set(hit=stream is not None)
+        return stream
+
+    def _load_stream(self, key):
         key_bytes = stable_key_bytes(key)
         payload = self.store.get(self.fingerprint, KIND_STREAM, key_bytes)
         if payload is None:
@@ -190,6 +201,14 @@ class PersistentCache:
         and unfolding-template keys; bumps hit metadata for streams served
         from disk; evicts over the size cap; refreshes ``cache_file_bytes``.
         """
+        if self.tracer is None:
+            return self._flush(checker)
+        with self.tracer.span("disk_io", name="flush") as span:
+            written = self._flush(checker)
+            span.set(written=sum(written.values()))
+        return written
+
+    def _flush(self, checker) -> dict[str, int]:
         written = {KIND_STREAM: 0, KIND_REFUTER: 0, KIND_UNFOLD: 0}
 
         stream_rows = []

@@ -18,6 +18,11 @@ repro``.  Subcommands:
     Inspect and manage persistent cache files: ``stats``, ``export``,
     ``import``, ``clear`` and ``fingerprint`` (the registry fingerprint
     used as the CI cache key).
+``trace``
+    Analyse NDJSON span traces written by ``--trace-out``: ``summary``
+    (per-phase table, hottest locations/predicates), ``export --format
+    chrome`` (Perfetto / ``about://tracing``) and ``diff`` (see
+    ``docs/observability.md``).
 ``docs``
     Regenerate ``docs/predicates.md`` from the predicate standard library.
 
@@ -63,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, help="per-benchmark timeout in seconds"
     )
     infer.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    infer.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write an NDJSON span trace of the run (see docs/observability.md)",
+    )
     infer.set_defaults(handler=_cmd_infer)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (invariant inference)")
@@ -143,6 +154,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "hit rate falls below RATE (e.g. 0.9)"
         ),
     )
+    bench.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace the accelerated sweeps and add a per-phase 'phases' "
+            "summary to the report (additive keys only); the NDJSON trace "
+            "goes to --trace-out, default trace.ndjson"
+        ),
+    )
+    bench.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="NDJSON trace file for --trace (implies --trace when given)",
+    )
     bench.add_argument("--quiet", action="store_true", help="suppress progress messages")
     bench.set_defaults(handler=_cmd_bench)
 
@@ -169,6 +195,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump file written by export / read by import (default: stdout/stdin)",
     )
     cache.set_defaults(handler=_cmd_cache)
+
+    trace = subparsers.add_parser(
+        "trace", help="analyse NDJSON span traces written by --trace-out"
+    )
+    trace.add_argument(
+        "action",
+        choices=("summary", "export", "diff"),
+        help=(
+            "summary: per-phase self/total table and hottest spans; "
+            "export: convert to another format (--format); "
+            "diff: per-phase deltas between two traces (old new)"
+        ),
+    )
+    trace.add_argument(
+        "files", nargs="+", metavar="FILE", help="trace file(s); diff takes exactly two"
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="export format (chrome: trace-event JSON for Perfetto/about://tracing)",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="FILE", help="write export output here (default: stdout)"
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, help="hottest spans listed per kind (summary)"
+    )
+    trace.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    trace.set_defaults(handler=_cmd_trace)
 
     docs = subparsers.add_parser("docs", help="regenerate docs/predicates.md")
     docs.add_argument(
@@ -206,10 +262,24 @@ def _cmd_infer(arguments: argparse.Namespace) -> None:
     if not names:
         raise SystemExit("infer: pass --benchmark NAME and/or --category NAME (or --list)")
 
+    config = None
+    telemetry = None
+    if arguments.trace_out:
+        from repro.core.sling import SlingConfig
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(arguments.trace_out)
+        config = SlingConfig(discard_crashed_runs=True, telemetry=telemetry)
     engine = InferenceEngine(jobs=arguments.jobs, job_timeout=arguments.timeout)
     reports = engine.run(
-        [EngineJob(kind="spec", benchmark=name, seed=arguments.seed) for name in names]
+        [
+            EngineJob(kind="spec", benchmark=name, seed=arguments.seed, config=config)
+            for name in names
+        ]
     )
+    if telemetry is not None:
+        telemetry.merge_segments()
+        telemetry.close()
 
     if arguments.json:
         print(json.dumps([_spec_report_dict(report) for report in reports], indent=2))
@@ -282,12 +352,16 @@ def _cmd_bench(arguments: argparse.Namespace) -> None:
     if arguments.compare:
         with open(arguments.compare, encoding="utf-8") as handle:
             previous = json.load(handle)
+    trace_out = arguments.trace_out
+    if arguments.trace and trace_out is None:
+        trace_out = "trace.ndjson"
     report = benchmark_engine(
         categories=arguments.category,
         limit=arguments.limit,
         jobs=arguments.jobs,
         seed=arguments.seed,
         progress=progress,
+        trace_out=trace_out,
     )
     text = json.dumps(report, indent=2)
     # The regression gates run BEFORE the report is written: when --out and
@@ -405,6 +479,100 @@ def _cmd_cache(arguments: argparse.Namespace) -> None:
             print(f"imported {merged} entries into {arguments.file}", file=sys.stderr)
     finally:
         store.close()
+
+
+def _cmd_trace(arguments: argparse.Namespace) -> None:
+    """``repro trace``: summarize, export or diff NDJSON span traces."""
+    from repro.telemetry import (
+        TraceError,
+        diff_summaries,
+        hottest,
+        phase_summary,
+        read_trace,
+        to_chrome,
+    )
+
+    try:
+        if arguments.action == "diff":
+            if len(arguments.files) != 2:
+                raise SystemExit("trace diff: pass exactly two trace files (old new)")
+            diff = diff_summaries(
+                read_trace(arguments.files[0]), read_trace(arguments.files[1])
+            )
+            if arguments.json:
+                print(json.dumps(diff, indent=2))
+            else:
+                print(_format_trace_diff(diff))
+            return
+        if len(arguments.files) != 1:
+            raise SystemExit(f"trace {arguments.action}: pass exactly one trace file")
+        records = read_trace(arguments.files[0])
+    except TraceError as error:
+        raise SystemExit(f"trace: {error}")
+
+    if arguments.action == "export":
+        payload = json.dumps(to_chrome(records), indent=2)
+        if arguments.out:
+            with open(arguments.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {arguments.out}", file=sys.stderr)
+        else:
+            print(payload)
+        return
+
+    summary = phase_summary(records)
+    hot = {
+        label: hottest(records, kind, top=arguments.top)
+        for label, kind in (
+            ("locations", "location"),
+            ("predicates", "candidate_group"),
+        )
+    }
+    if arguments.json:
+        print(json.dumps({"phases": summary, "hottest": hot}, indent=2))
+        return
+    print(_format_trace_summary(summary, hot))
+
+
+def _format_trace_summary(summary: dict, hot: dict) -> str:
+    from repro.telemetry import SPAN_KINDS
+
+    header = f"{'phase':20s} {'count':>8s} {'total(s)':>10s} {'self(s)':>10s}"
+    lines = [header, "-" * len(header)]
+    ordered = [kind for kind in SPAN_KINDS if kind in summary]
+    ordered += [kind for kind in summary if kind not in SPAN_KINDS]
+    for kind in ordered:
+        entry = summary[kind]
+        self_column = (
+            f"{entry['self_seconds']:10.3f}" if "self_seconds" in entry else f"{'(aux)':>10s}"
+        )
+        lines.append(
+            f"{kind:20s} {entry['count']:8d} {entry['total_seconds']:10.3f} {self_column}"
+        )
+    for label, ranked in hot.items():
+        if not ranked:
+            continue
+        lines.append("")
+        lines.append(f"hottest {label}:")
+        for entry in ranked:
+            lines.append(
+                f"  {entry['name']:40s} {entry['count']:6d}x {entry['total_seconds']:10.3f}s"
+            )
+    return "\n".join(lines)
+
+
+def _format_trace_diff(diff: dict) -> str:
+    header = (
+        f"{'phase':20s} {'count':>13s} {'total(s)':>21s} {'delta':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for kind, entry in diff.items():
+        lines.append(
+            f"{kind:20s} {entry['count_old']:6d}>{entry['count_new']:<6d} "
+            f"{entry['total_seconds_old']:10.3f}>{entry['total_seconds_new']:<10.3f} "
+            f"{entry['total_delta']:+10.3f}"
+        )
+    return "\n".join(lines)
 
 
 def _compare_bench_reports(

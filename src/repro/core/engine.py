@@ -31,13 +31,15 @@ Design notes
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.core.sling import SlingConfig
+from repro.telemetry import monotime
 
 #: Job kinds understood by :func:`execute_job`.
 JOB_KINDS = ("spec", "table1", "table2")
@@ -90,6 +92,10 @@ class CacheStats:
     checker_misses: int = 0
     unfold_hits: int = 0
     unfold_misses: int = 0
+    # Per-inference (variable, models) memo of the driver: Algorithm 2 runs
+    # shared among result branches (see ``Sling.infer_from_models``).
+    atom_cache_hits: int = 0
+    atom_cache_misses: int = 0
     candidates_generated: int = 0
     candidates_prefiltered: int = 0
     candidates_checked: int = 0
@@ -115,6 +121,9 @@ class CacheStats:
     models_deduped: int = 0
     canonical_stream_hits: int = 0
     iso_exact_fallbacks: int = 0
+    #: Exact-search selections that were enumeration-order dependent (see
+    #: :class:`repro.sl.screen.ScreeningStats`).
+    exact_selection_ambiguities: int = 0
     # Persistent-cache counters (:mod:`repro.cache`): skeleton streams
     # served from / missed by the disk tier, rows evicted by the size cap,
     # on-disk cache size, and failures absorbed (corruption, version skew,
@@ -132,6 +141,8 @@ class CacheStats:
         self.checker_misses += other.checker_misses
         self.unfold_hits += other.unfold_hits
         self.unfold_misses += other.unfold_misses
+        self.atom_cache_hits += other.atom_cache_hits
+        self.atom_cache_misses += other.atom_cache_misses
         self.candidates_generated += other.candidates_generated
         self.candidates_prefiltered += other.candidates_prefiltered
         self.candidates_checked += other.candidates_checked
@@ -146,6 +157,7 @@ class CacheStats:
         self.models_deduped += other.models_deduped
         self.canonical_stream_hits += other.canonical_stream_hits
         self.iso_exact_fallbacks += other.iso_exact_fallbacks
+        self.exact_selection_ambiguities += other.exact_selection_ambiguities
         self.disk_hits += other.disk_hits
         self.disk_misses += other.disk_misses
         self.disk_evictions += other.disk_evictions
@@ -194,6 +206,8 @@ class CacheStats:
             "unfold_hits": self.unfold_hits,
             "unfold_misses": self.unfold_misses,
             "unfold_hit_rate": round(self.unfold_hit_rate, 4),
+            "atom_cache_hits": self.atom_cache_hits,
+            "atom_cache_misses": self.atom_cache_misses,
             "candidates_generated": self.candidates_generated,
             "candidates_prefiltered": self.candidates_prefiltered,
             "candidates_checked": self.candidates_checked,
@@ -211,6 +225,7 @@ class CacheStats:
             "models_deduped": self.models_deduped,
             "canonical_stream_hits": self.canonical_stream_hits,
             "iso_exact_fallbacks": self.iso_exact_fallbacks,
+            "exact_selection_ambiguities": self.exact_selection_ambiguities,
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
             "disk_hit_rate": round(self.disk_hit_rate, 4),
@@ -267,8 +282,34 @@ def execute_job(job: EngineJob) -> EngineReport:
     therefore measures each job individually (not batch wall-clock).
     Timeouts are skipped off the main thread, where signals cannot be
     delivered.
+
+    With ``job.config.telemetry`` set, the whole execution is wrapped in a
+    ``job`` span carrying the job's cache counters as attributes, plus one
+    ``counters`` snapshot record.  Inline runs nest the span under the
+    caller's open sweep span; pool workers write root spans into their
+    segment file, re-parented at merge time (see ``InferenceEngine``).
     """
-    start = time.perf_counter()
+    telemetry = job.config.telemetry if job.config is not None else None
+    if telemetry is None:
+        return _execute_job(job)
+    tracer = telemetry.tracer()
+    with tracer.span("job", name=job.benchmark, job_kind=job.kind, seed=job.seed) as span:
+        report = _execute_job(job)
+        span.set(
+            ok=report.ok,
+            seconds=round(report.seconds, 6),
+            counters={
+                key: value
+                for key, value in report.cache.as_dict().items()
+                if isinstance(value, int) and value
+            },
+        )
+    tracer.counters(job.benchmark, report.cache.as_dict())
+    return report
+
+
+def _execute_job(job: EngineJob) -> EngineReport:
+    start = monotime()
     try:
         return _execute_with_timer(job, start)
     except _JobTimeout:
@@ -279,7 +320,7 @@ def execute_job(job: EngineJob) -> EngineReport:
             job=job,
             ok=False,
             error=f"timeout after {job.timeout:.3g}s",
-            seconds=time.perf_counter() - start,
+            seconds=monotime() - start,
         )
 
 
@@ -300,14 +341,14 @@ def _execute_with_timer(job: EngineJob, start: float) -> EngineReport:
             job=job,
             ok=False,
             error=f"timeout after {job.timeout:.3g}s",
-            seconds=time.perf_counter() - start,
+            seconds=monotime() - start,
         )
     except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
         return EngineReport(
             job=job,
             ok=False,
             error=f"{type(exc).__name__}: {exc}",
-            seconds=time.perf_counter() - start,
+            seconds=monotime() - start,
         )
     finally:
         if use_timer:
@@ -317,7 +358,7 @@ def _execute_with_timer(job: EngineJob, start: float) -> EngineReport:
         job=job,
         ok=True,
         error=None,
-        seconds=time.perf_counter() - start,
+        seconds=monotime() - start,
         cache=cache,
         payload=payload,
     )
@@ -337,33 +378,7 @@ def _dispatch(job: EngineJob) -> tuple[object, CacheStats]:
         from repro.evaluation.table1 import evaluate_program
 
         result = evaluate_program(benchmark, config=job.config, seed=job.seed)
-        cache = CacheStats(
-            checker_hits=result.checker_cache_hits,
-            checker_misses=result.checker_cache_misses,
-            unfold_hits=result.unfold_cache_hits,
-            unfold_misses=result.unfold_cache_misses,
-            candidates_generated=result.candidates_generated,
-            candidates_prefiltered=result.candidates_prefiltered,
-            candidates_checked=result.candidates_checked,
-            refuted_by_first_model=result.refuted_by_first_model,
-            pruned_cases=result.pruned_cases,
-            max_trail_depth=result.max_trail_depth,
-            candidate_groups=result.candidate_groups,
-            skeletons_solved=result.skeletons_solved,
-            env_stream_reuses=result.env_stream_reuses,
-            pure_variant_evals=result.pure_variant_evals,
-            batch_exact_fallbacks=result.batch_exact_fallbacks,
-            iso_classes=result.iso_classes,
-            models_deduped=result.models_deduped,
-            canonical_stream_hits=result.canonical_stream_hits,
-            iso_exact_fallbacks=result.iso_exact_fallbacks,
-            disk_hits=result.disk_hits,
-            disk_misses=result.disk_misses,
-            disk_evictions=result.disk_evictions,
-            cache_file_bytes=result.cache_file_bytes,
-            disk_load_errors=result.disk_load_errors,
-        )
-        return result, cache
+        return result, result.cache_stats()
 
     if job.kind == "table2":
         from repro.evaluation.table2 import compare_benchmark
@@ -396,35 +411,11 @@ def collect_cache_stats(sling, unfold_before: dict[str, int] | None = None) -> C
     so callers that want per-run numbers pass the registry's counters from
     before the run and get the difference.
     """
-    stats = sling.cache_stats()
-    before_hits = unfold_before["hits"] if unfold_before else 0
-    before_misses = unfold_before["misses"] if unfold_before else 0
-    return CacheStats(
-        checker_hits=stats["checker_hits"],
-        checker_misses=stats["checker_misses"],
-        unfold_hits=stats["unfold_hits"] - before_hits,
-        unfold_misses=stats["unfold_misses"] - before_misses,
-        candidates_generated=stats["candidates_generated"],
-        candidates_prefiltered=stats["candidates_prefiltered"],
-        candidates_checked=stats["candidates_checked"],
-        refuted_by_first_model=stats["refuted_by_first_model"],
-        pruned_cases=stats["pruned_cases"],
-        max_trail_depth=stats["max_trail_depth"],
-        candidate_groups=stats["candidate_groups"],
-        skeletons_solved=stats["skeletons_solved"],
-        env_stream_reuses=stats["env_stream_reuses"],
-        pure_variant_evals=stats["pure_variant_evals"],
-        batch_exact_fallbacks=stats["batch_exact_fallbacks"],
-        iso_classes=stats["iso_classes"],
-        models_deduped=stats["models_deduped"],
-        canonical_stream_hits=stats["canonical_stream_hits"],
-        iso_exact_fallbacks=stats["iso_exact_fallbacks"],
-        disk_hits=stats["disk_hits"],
-        disk_misses=stats["disk_misses"],
-        disk_evictions=stats["disk_evictions"],
-        cache_file_bytes=stats["cache_file_bytes"],
-        disk_load_errors=stats["disk_load_errors"],
-    )
+    stats = sling.cache_counters()
+    if unfold_before:
+        stats.unfold_hits -= unfold_before["hits"]
+        stats.unfold_misses -= unfold_before["misses"]
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -550,6 +541,14 @@ class InferenceEngine:
                             seconds=0.0,
                         )
                     )
+        # Fold the workers' per-pid trace segments back into the main trace
+        # file, re-parenting their job spans under the caller's open span.
+        merged_telemetries: list[int] = []
+        for job in batch:
+            telemetry = job.config.telemetry if job.config else None
+            if telemetry is not None and id(telemetry) not in merged_telemetries:
+                merged_telemetries.append(id(telemetry))
+                telemetry.merge_segments()
         return reports
 
 
@@ -587,12 +586,19 @@ def run_category_batch(
         )
 
     engine = InferenceEngine(jobs=jobs, job_timeout=job_timeout)
-    reports = engine.run(
-        [
-            EngineJob(kind=kind, benchmark=benchmark.name, seed=seed, config=config)
-            for _, benchmark in selected
-        ]
+    telemetry = config.telemetry if config is not None else None
+    sweep_span = (
+        telemetry.tracer().span("sweep", name=kind, benchmarks=len(selected), jobs=jobs)
+        if telemetry is not None
+        else nullcontext()
     )
+    with sweep_span:
+        reports = engine.run(
+            [
+                EngineJob(kind=kind, benchmark=benchmark.name, seed=seed, config=config)
+                for _, benchmark in selected
+            ]
+        )
     results = []
     for (category, benchmark), report in zip(selected, reports):
         if not report.ok:
@@ -641,6 +647,7 @@ def benchmark_engine(
     jobs: int = 2,
     seed: int = 0,
     progress: Callable[[str], None] | None = None,
+    trace_out: str | None = None,
 ) -> dict:
     """Measure sequential vs. parallel wall time and cache effectiveness.
 
@@ -671,6 +678,13 @@ def benchmark_engine(
     the first; a mismatch raises :class:`EngineError` (the checker
     accelerations' result-identity and the engine's determinism guarantee
     are asserted, not merely reported).
+
+    With ``trace_out`` set, the accelerated sweeps (sequential and parallel)
+    run with tracing on and the report gains ``phases`` (the per-kind span
+    summary) and ``trace_file`` keys -- additions only, the existing schema
+    is untouched.  The nocache baseline sweep stays *untraced*, so the
+    fingerprint assertion below doubles as proof that tracing does not
+    change results.
     """
     from repro.evaluation.table1 import run_table1
 
@@ -678,8 +692,16 @@ def benchmark_engine(
         if progress is not None:
             progress(message)
 
+    telemetry = None
+    traced_config: SlingConfig | None = None
+    if trace_out is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(trace_out)
+        traced_config = default_job_config(telemetry=telemetry)
+
     def sweep(config: SlingConfig | None, sweep_jobs: int):
-        start = time.perf_counter()
+        start = monotime()
         result = run_table1(
             categories=categories,
             config=config,
@@ -687,7 +709,7 @@ def benchmark_engine(
             max_programs_per_category=limit,
             jobs=sweep_jobs,
         )
-        return time.perf_counter() - start, result
+        return monotime() - start, result
 
     uncached_config = nocache_sweep_config()
     available_cpus = multiprocessing.cpu_count()
@@ -704,14 +726,14 @@ def benchmark_engine(
     total_sweeps = 2 if parallel_skipped else 3
 
     say(f"sweep 1/{total_sweeps}: sequential, checker accelerations enabled")
-    sequential_seconds, sequential_result = sweep(None, 1)
+    sequential_seconds, sequential_result = sweep(traced_config, 1)
     say(f"sweep 2/{total_sweeps}: sequential, batching and checker cache disabled")
     nocache_seconds, nocache_result = sweep(uncached_config, 1)
     parallel_seconds = None
     parallel_result = None
     if parallel_skipped is None:
         say(f"sweep 3/3: parallel with {jobs} workers, accelerations enabled")
-        parallel_seconds, parallel_result = sweep(None, jobs)
+        parallel_seconds, parallel_result = sweep(traced_config, jobs)
         if parallel_note is not None:
             parallel_seconds = None
     else:
@@ -756,12 +778,49 @@ def benchmark_engine(
         "deterministic": deterministic,
         "available_cpus": available_cpus,
         "interned_canonical_forms": _intern_table_size(),
+        "meta": bench_metadata(),
     }
     if parallel_skipped is not None:
         report["parallel_skipped"] = parallel_skipped
     if parallel_note is not None:
         report["parallel_note"] = parallel_note
+    if telemetry is not None:
+        telemetry.close()
+        from repro.telemetry import phase_summary, read_trace
+
+        report["trace_file"] = trace_out
+        report["phases"] = phase_summary(read_trace(trace_out))
     return report
+
+
+def bench_metadata() -> dict:
+    """Environment provenance stamped into every bench report.
+
+    Records what a later reader needs to judge whether two bench numbers
+    are comparable: CPU count, the hash seed (``PYTHONHASHSEED`` governs
+    set/dict iteration and therefore *could* matter if determinism ever
+    regressed), platform, Python version and the git revision.
+    """
+    import platform
+    import subprocess
+
+    try:
+        git_rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_rev = None
+    return {
+        "cpu_count": multiprocessing.cpu_count(),
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "git_rev": git_rev,
+    }
 
 
 def nocache_sweep_config() -> SlingConfig:
@@ -812,8 +871,6 @@ def benchmark_warm_start(
     ``disk_hit_rate`` is the headline number (target: >= 0.9, near-zero
     fresh skeleton solves).
     """
-    import os
-
     from repro.evaluation.table1 import run_table1
 
     def say(message: str) -> None:
@@ -823,7 +880,7 @@ def benchmark_warm_start(
     resumed = bool(cache_file) and os.path.exists(cache_file)
 
     def sweep(config: SlingConfig | None):
-        start = time.perf_counter()
+        start = monotime()
         result = run_table1(
             categories=categories,
             config=config,
@@ -831,7 +888,7 @@ def benchmark_warm_start(
             max_programs_per_category=limit,
             jobs=jobs,
         )
-        return time.perf_counter() - start, result
+        return monotime() - start, result
 
     cached_config = default_job_config(persistent_cache=cache_file)
 
@@ -865,6 +922,7 @@ def benchmark_warm_start(
     warm_cache = warm_result.cache_totals()
     return {
         "mode": "warm-start",
+        "meta": bench_metadata(),
         "resumed": resumed,
         "benchmarks": sum(row.program_count for row in reference_result.rows),
         "cache_file": os.path.abspath(cache_file),

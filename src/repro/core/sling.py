@@ -17,7 +17,7 @@ equalities and quantify out-of-scope variables existentially.
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -41,6 +41,7 @@ from repro.sl.model import StackHeapModel, models_union
 from repro.sl.predicates import PredicateRegistry
 from repro.sl.pretty import pretty
 from repro.sl.spatial import SymHeap, star
+from repro.telemetry import Telemetry, monotime
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,13 @@ class SlingConfig:
     #: entirely inert: no file is touched and every code path is identical
     #: to a cache-less run.  Requires ``canonical_stream_keys``.
     persistent_cache: str | Path | None = None
+    #: Tracing handle (see :mod:`repro.telemetry`).  ``None`` (the default)
+    #: keeps every instrumented call site a single ``is None`` branch away
+    #: from the untraced code path: no tracer is built, no file is touched,
+    #: and inference results are bit-identical either way.  The handle is
+    #: picklable, so a traced configuration crosses the engine's fork
+    #: boundary; each worker process then writes its own trace segment.
+    telemetry: Telemetry | None = None
 
     def atom_config(self) -> InferAtomConfig:
         """The Algorithm 2 configuration derived from this one."""
@@ -136,6 +144,10 @@ class Sling:
         self.program = program
         self.predicates = predicates
         self.config = config or SlingConfig()
+        self.telemetry = self.config.telemetry
+        #: Process-local tracer (``None`` when tracing is off); handed down
+        #: to the checker and the disk tier so their spans nest under ours.
+        self.tracer = self.telemetry.tracer() if self.telemetry is not None else None
         self.checker = ModelChecker(
             predicates,
             max_steps=self.config.checker_max_steps,
@@ -146,6 +158,7 @@ class Sling:
             canonical_stream_keys=self.config.canonical_stream_keys,
             structs=program.structs,
         )
+        self.checker.tracer = self.tracer
         #: Disk tier beneath the checker's canonical-keyed caches; ``None``
         #: unless ``config.persistent_cache`` is set (the default keeps
         #: every code path identical to a cache-less run).
@@ -156,6 +169,7 @@ class Sling:
             self.persistent_cache = PersistentCache(
                 self.config.persistent_cache, predicates
             )
+            self.persistent_cache.tracer = self.tracer
             # ``attach`` refuses non-canonical checkers; with the Sling
             # entry point that can only happen when the user explicitly
             # disabled canonical_stream_keys, so the error is theirs to see.
@@ -175,31 +189,59 @@ class Sling:
         self.models_deduped = 0
         self.iso_exact_fallbacks = 0
 
-    def cache_stats(self) -> dict[str, int]:
-        """Counters of the memo layers and the candidate-screening pipeline."""
+    def cache_counters(self):
+        """Counters of the memo layers, as an engine :class:`CacheStats`.
+
+        The one source of truth for this driver's counter snapshot --
+        :meth:`cache_stats` is its dict rendering, and the engine's
+        per-job accounting consumes the struct directly.
+        """
+        # Imported here: the engine imports SlingConfig from this module at
+        # module load, so the reverse import must stay out of load order.
+        from repro.core.engine import CacheStats
+
         checker = self.checker.cache_info()
         unfold = self.predicates.unfold_stats()
-        stats = {
-            "checker_hits": checker["hits"],
-            "checker_misses": checker["misses"],
-            "unfold_hits": unfold["hits"],
-            "unfold_misses": unfold["misses"],
-            "atom_cache_hits": self.atom_cache_hits,
-            "atom_cache_misses": self.atom_cache_misses,
-            "iso_classes": self.iso_classes,
-            "models_deduped": self.models_deduped,
-            "iso_exact_fallbacks": self.iso_exact_fallbacks,
-        }
-        stats.update(self.checker.screen_stats.as_dict())
+        screen = self.checker.screen_stats
         if self.persistent_cache is not None:
-            stats.update(self.persistent_cache.counters())
+            disk = self.persistent_cache.counters()
         else:
-            stats.update(
-                disk_hits=0,
-                disk_misses=0,
-                disk_evictions=0,
-                cache_file_bytes=0,
-                disk_load_errors=0,
+            disk = {
+                "disk_hits": 0,
+                "disk_misses": 0,
+                "disk_evictions": 0,
+                "cache_file_bytes": 0,
+                "disk_load_errors": 0,
+            }
+        return CacheStats(
+            checker_hits=checker["hits"],
+            checker_misses=checker["misses"],
+            unfold_hits=unfold["hits"],
+            unfold_misses=unfold["misses"],
+            atom_cache_hits=self.atom_cache_hits,
+            atom_cache_misses=self.atom_cache_misses,
+            iso_classes=self.iso_classes,
+            models_deduped=self.models_deduped,
+            iso_exact_fallbacks=self.iso_exact_fallbacks,
+            **screen.as_dict(),
+            **disk,
+        )
+
+    def cache_stats(self) -> dict:
+        """Dict rendering of :meth:`cache_counters` (JSON reports, tests).
+
+        When the persistent cache is active the dict additionally carries a
+        ``counter_semantics`` note: streams served from disk count neither
+        ``skeletons_solved`` nor ``env_stream_reuses``, so those counters
+        are **not comparable** with a cache-less run's (see
+        ``docs/performance.md``).
+        """
+        stats = self.cache_counters().as_dict()
+        if self.persistent_cache is not None:
+            stats["counter_semantics"] = (
+                "persistent cache active: disk-served streams count neither "
+                "skeletons_solved nor env_stream_reuses; do not compare these "
+                "counters with a cache-less run"
             )
         return stats
 
@@ -234,6 +276,23 @@ class Sling:
     # ---------------------------------------------------------------- inference --
 
     def infer_from_models(
+        self,
+        models: Sequence[StackHeapModel],
+        location: str = "<location>",
+        free_vars: Sequence[str] | None = None,
+        _allow_dedup: bool = True,
+    ) -> list[Invariant]:
+        """Algorithm 1 at one location (see :meth:`_infer_from_models`)."""
+        if self.tracer is None:
+            return self._infer_from_models(models, location, free_vars, _allow_dedup)
+        with self.tracer.span(
+            "location", name=location, models=len(models), dedup=_allow_dedup
+        ) as span:
+            invariants = self._infer_from_models(models, location, free_vars, _allow_dedup)
+            span.set(invariants=len(invariants))
+        return invariants
+
+    def _infer_from_models(
         self,
         models: Sequence[StackHeapModel],
         location: str = "<location>",
@@ -477,7 +536,20 @@ class Sling:
         which draw the tracer observes is part of the deterministic
         contract -- see the note in ``evaluation.table1.evaluate_program``.
         """
-        start = time.perf_counter()
+        start = monotime()
+        function_span = (
+            self.tracer.span("function", name=function_name, tests=len(test_cases))
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with function_span:
+            specification = self._infer_function(function_name, test_cases)
+        specification.inference_seconds = monotime() - start
+        return specification
+
+    def _infer_function(
+        self, function_name: str, test_cases: Sequence[TestCase]
+    ) -> Specification:
         function = self.program.get_function(function_name)
         traces = self.collect(function_name, test_cases)
         specification = Specification(function=function_name)
@@ -513,7 +585,6 @@ class Sling:
 
         specification.validated = self._validate(specification, traces, function_name)
         self.flush_persistent()
-        specification.inference_seconds = time.perf_counter() - start
         return specification
 
     # ------------------------------------------------------------------ internals --

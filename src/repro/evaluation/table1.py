@@ -25,14 +25,33 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Sequence
 
 from repro.benchsuite.registry import BenchmarkProgram
 from repro.core.engine import CacheStats, collect_cache_stats, run_category_batch
 from repro.core.results import Specification
 from repro.core.sling import Sling, SlingConfig
+from repro.telemetry import monotime
+
+#: :class:`ProgramResult` attributes that render :class:`CacheStats` fields
+#: under a historical flat name (the ``--json`` schema predates the struct);
+#: every other field maps by identity.
+_RENAMED_CACHE_FIELDS = {
+    "checker_hits": "checker_cache_hits",
+    "checker_misses": "checker_cache_misses",
+    "unfold_hits": "unfold_cache_hits",
+    "unfold_misses": "unfold_cache_misses",
+}
+
+#: ``(ProgramResult attribute, CacheStats field)`` pairs -- generated from
+#: the struct itself, so a counter added to :class:`CacheStats` flows into
+#: per-program results, JSON output and ``cache_totals()`` by adding one
+#: matching :class:`ProgramResult` field.
+_CACHE_FIELD_PAIRS = [
+    (_RENAMED_CACHE_FIELDS.get(spec.name, spec.name), spec.name)
+    for spec in fields(CacheStats)
+]
 
 
 @dataclass
@@ -56,6 +75,9 @@ class ProgramResult:
     checker_cache_misses: int = 0
     unfold_cache_hits: int = 0
     unfold_cache_misses: int = 0
+    # Per-inference (variable, models) memo sharing Algorithm 2 runs.
+    atom_cache_hits: int = 0
+    atom_cache_misses: int = 0
     # Candidate-screening counters (fail-fast pipeline of Algorithm 2).
     candidates_generated: int = 0
     candidates_prefiltered: int = 0
@@ -74,6 +96,7 @@ class ProgramResult:
     models_deduped: int = 0
     canonical_stream_hits: int = 0
     iso_exact_fallbacks: int = 0
+    exact_selection_ambiguities: int = 0
     # Persistent-cache counters (all zero unless the run set
     # ``SlingConfig.persistent_cache``; see :mod:`repro.cache`).
     disk_hits: int = 0
@@ -81,6 +104,15 @@ class ProgramResult:
     disk_evictions: int = 0
     cache_file_bytes: int = 0
     disk_load_errors: int = 0
+
+    def cache_stats(self) -> CacheStats:
+        """This run's counters, repackaged as the engine's struct."""
+        return CacheStats(
+            **{
+                stats_field: getattr(self, attribute)
+                for attribute, stats_field in _CACHE_FIELD_PAIRS
+            }
+        )
 
     def as_dict(self, include_invariants: bool = False) -> dict:
         """JSON-serializable view (used by ``python -m repro table1 --json``)."""
@@ -96,31 +128,9 @@ class ProgramResult:
             "singleton_atoms": self.singleton_atoms,
             "inductive_atoms": self.inductive_atoms,
             "pure_atoms": self.pure_atoms,
-            "checker_cache_hits": self.checker_cache_hits,
-            "checker_cache_misses": self.checker_cache_misses,
-            "unfold_cache_hits": self.unfold_cache_hits,
-            "unfold_cache_misses": self.unfold_cache_misses,
-            "candidates_generated": self.candidates_generated,
-            "candidates_prefiltered": self.candidates_prefiltered,
-            "candidates_checked": self.candidates_checked,
-            "refuted_by_first_model": self.refuted_by_first_model,
-            "pruned_cases": self.pruned_cases,
-            "max_trail_depth": self.max_trail_depth,
-            "candidate_groups": self.candidate_groups,
-            "skeletons_solved": self.skeletons_solved,
-            "env_stream_reuses": self.env_stream_reuses,
-            "pure_variant_evals": self.pure_variant_evals,
-            "batch_exact_fallbacks": self.batch_exact_fallbacks,
-            "iso_classes": self.iso_classes,
-            "models_deduped": self.models_deduped,
-            "canonical_stream_hits": self.canonical_stream_hits,
-            "iso_exact_fallbacks": self.iso_exact_fallbacks,
-            "disk_hits": self.disk_hits,
-            "disk_misses": self.disk_misses,
-            "disk_evictions": self.disk_evictions,
-            "cache_file_bytes": self.cache_file_bytes,
-            "disk_load_errors": self.disk_load_errors,
         }
+        for attribute, _ in _CACHE_FIELD_PAIRS:
+            data[attribute] = getattr(self, attribute)
         if include_invariants and self.specification is not None:
             data["inferred"] = [
                 {"location": inv.location, "formula": inv.pretty(), "spurious": inv.spurious}
@@ -224,34 +234,7 @@ class Table1Result:
         totals = CacheStats()
         for row in self.rows:
             for program in row.programs:
-                totals.merge(
-                    CacheStats(
-                        checker_hits=program.checker_cache_hits,
-                        checker_misses=program.checker_cache_misses,
-                        unfold_hits=program.unfold_cache_hits,
-                        unfold_misses=program.unfold_cache_misses,
-                        candidates_generated=program.candidates_generated,
-                        candidates_prefiltered=program.candidates_prefiltered,
-                        candidates_checked=program.candidates_checked,
-                        refuted_by_first_model=program.refuted_by_first_model,
-                        pruned_cases=program.pruned_cases,
-                        max_trail_depth=program.max_trail_depth,
-                        candidate_groups=program.candidate_groups,
-                        skeletons_solved=program.skeletons_solved,
-                        env_stream_reuses=program.env_stream_reuses,
-                        pure_variant_evals=program.pure_variant_evals,
-                        batch_exact_fallbacks=program.batch_exact_fallbacks,
-                        iso_classes=program.iso_classes,
-                        models_deduped=program.models_deduped,
-                        canonical_stream_hits=program.canonical_stream_hits,
-                        iso_exact_fallbacks=program.iso_exact_fallbacks,
-                        disk_hits=program.disk_hits,
-                        disk_misses=program.disk_misses,
-                        disk_evictions=program.disk_evictions,
-                        cache_file_bytes=program.cache_file_bytes,
-                        disk_load_errors=program.disk_load_errors,
-                    )
-                )
+                totals.merge(program.cache_stats())
         return totals
 
     def as_dict(self, include_invariants: bool = False) -> dict:
@@ -281,7 +264,7 @@ def evaluate_program(
     test_cases = benchmark.test_cases(seed=seed)
     function = benchmark.program.get_function(benchmark.function)
 
-    start = time.perf_counter()
+    start = monotime()
     # NOTE: the trace collection is intentionally NOT passed to
     # ``infer_function``.  The test-case closures share one seeded RNG, so
     # the first collection (measured here for the Traces column) and the
@@ -290,7 +273,7 @@ def evaluate_program(
     # first would change every downstream invariant.
     traces = sling.collect(benchmark.function, test_cases)
     specification = sling.infer_function(benchmark.function, test_cases)
-    seconds = time.perf_counter() - start
+    seconds = monotime() - start
 
     invariants = specification.all_invariants()
     spurious = specification.spurious_count()
@@ -319,30 +302,10 @@ def evaluate_program(
         inductive_atoms=sum(invariant.predicate_count() for invariant in invariants),
         pure_atoms=sum(invariant.pure_count() for invariant in invariants),
         specification=specification,
-        checker_cache_hits=cache.checker_hits,
-        checker_cache_misses=cache.checker_misses,
-        unfold_cache_hits=cache.unfold_hits,
-        unfold_cache_misses=cache.unfold_misses,
-        candidates_generated=cache.candidates_generated,
-        candidates_prefiltered=cache.candidates_prefiltered,
-        candidates_checked=cache.candidates_checked,
-        refuted_by_first_model=cache.refuted_by_first_model,
-        pruned_cases=cache.pruned_cases,
-        max_trail_depth=cache.max_trail_depth,
-        candidate_groups=cache.candidate_groups,
-        skeletons_solved=cache.skeletons_solved,
-        env_stream_reuses=cache.env_stream_reuses,
-        pure_variant_evals=cache.pure_variant_evals,
-        batch_exact_fallbacks=cache.batch_exact_fallbacks,
-        iso_classes=cache.iso_classes,
-        models_deduped=cache.models_deduped,
-        canonical_stream_hits=cache.canonical_stream_hits,
-        iso_exact_fallbacks=cache.iso_exact_fallbacks,
-        disk_hits=cache.disk_hits,
-        disk_misses=cache.disk_misses,
-        disk_evictions=cache.disk_evictions,
-        cache_file_bytes=cache.cache_file_bytes,
-        disk_load_errors=cache.disk_load_errors,
+        **{
+            attribute: getattr(cache, stats_field)
+            for attribute, stats_field in _CACHE_FIELD_PAIRS
+        },
     )
 
 
@@ -436,17 +399,33 @@ def add_table1_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--invariants", action="store_true", help="include inferred formulas in --json output"
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write an NDJSON span trace of the run (see docs/observability.md)",
+    )
 
 
 def table1_command(arguments: argparse.Namespace) -> None:
     """Run Table 1 from parsed CLI arguments and print it."""
+    config = None
+    telemetry = None
+    if getattr(arguments, "trace_out", None):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(arguments.trace_out)
+        config = SlingConfig(discard_crashed_runs=True, telemetry=telemetry)
     result = run_table1(
         categories=arguments.category,
+        config=config,
         seed=arguments.seed,
         max_programs_per_category=arguments.max_programs,
         jobs=arguments.jobs,
         job_timeout=arguments.timeout,
     )
+    if telemetry is not None:
+        telemetry.close()
     if arguments.json:
         print(json.dumps(result.as_dict(include_invariants=arguments.invariants), indent=2))
     else:

@@ -60,6 +60,7 @@ from repro.sl.model import Heap, StackHeapModel
 from repro.sl.predicates import PredicateRegistry, canonical_unfold_key
 from repro.sl.screen import ScreeningStats, case_feasible, formula_shape
 from repro.sl.spatial import Emp, PointsTo, PredApp, SepConj, Spatial, SymHeap
+from repro.telemetry import monotime
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,14 @@ class CheckResult:
     def covers_everything(self) -> bool:
         """True when the formula modelled the entire heap (empty residual)."""
         return self.residual.is_empty()
+
+
+def _span_name(formula: SymHeap) -> str:
+    """Span label of a checked formula: its leading spatial atom's predicate."""
+    atoms = formula.spatial_atoms()
+    if not atoms:
+        return "<pure>"
+    return getattr(atoms[0], "name", type(atoms[0]).__name__)
 
 
 @dataclass
@@ -196,6 +205,9 @@ class ModelChecker:
         #: :meth:`repro.cache.tier.PersistentCache.attach`; ``None`` keeps
         #: every code path byte-identical to the cache-less checker).
         self.persistent = None
+        #: Optional span tracer (set by the owning :class:`Sling`; ``None``
+        #: keeps ``check_all``/``check_batch`` on the untraced fast path).
+        self.tracer = None
 
     # ------------------------------------------------------------------ API --
 
@@ -365,6 +377,18 @@ class ModelChecker:
         formula of the same shape -- most wrong candidates are then settled
         by the first check.  The returned list is always in input order.
         """
+        if self.tracer is None:
+            return self._check_all(models, formula)
+        with self.tracer.span(
+            "checker_call", name=_span_name(formula), models=len(models)
+        ) as span:
+            results = self._check_all(models, formula)
+            span.set(refuted=results is None)
+        return results
+
+    def _check_all(
+        self, models: Sequence[StackHeapModel], formula: SymHeap
+    ) -> list[CheckResult] | None:
         count = len(models)
         if not self.fail_fast or count <= 1:
             results = []
@@ -489,6 +513,28 @@ class ModelChecker:
         :data:`BATCH_VACUOUS` sentinel (provably dropped by the vacuity
         filter), or the list of per-model :class:`CheckResult`.
         """
+        if self.tracer is None:
+            return self._check_batch(models, skeleton, pure_variants, drop_vacuous)
+        with self.tracer.span(
+            "candidate_group",
+            name=_span_name(skeleton),
+            variants=len(pure_variants),
+            models=len(models),
+        ) as span:
+            outcomes = self._check_batch(models, skeleton, pure_variants, drop_vacuous)
+            span.set(
+                refuted=sum(1 for outcome in outcomes if outcome is None),
+                vacuous=sum(1 for outcome in outcomes if outcome is BATCH_VACUOUS),
+            )
+        return outcomes
+
+    def _check_batch(
+        self,
+        models: Sequence[StackHeapModel],
+        skeleton: SymHeap,
+        pure_variants: Sequence["PureVariant"],
+        drop_vacuous: bool = True,
+    ) -> list:
         variants = list(pure_variants)
         if not variants:
             return []
@@ -756,6 +802,7 @@ class ModelChecker:
             canon=canon,
             source_root=root_value,
             source_heap_hash=hash(model.heap),
+            tracer=self.tracer,
         )
         streams[key] = stream
         if len(streams) > self.stream_cache_size:
@@ -1406,6 +1453,9 @@ class EnvStream:
         "_heap_size",
         "_max_entries",
         "_canon",
+        "_tracer",
+        "_pull_seconds",
+        "_first_ts",
     )
 
     def __init__(
@@ -1417,6 +1467,7 @@ class EnvStream:
         canon=None,
         source_root: int | None = None,
         source_heap_hash: int | None = None,
+        tracer=None,
     ):
         self.slot_names = slot_names
         self.entries: list[_StreamEntry] = []
@@ -1427,6 +1478,32 @@ class EnvStream:
         self._heap_size = heap_size
         self._max_entries = max_entries
         self._canon = canon
+        self._tracer = tracer
+        self._pull_seconds = 0.0
+        self._first_ts: float | None = None
+
+    def _emit_span(self) -> None:
+        """Flush the accumulated pull time as one ``aux``-track span.
+
+        The pulls of a lazily shared stream interleave with arbitrary
+        main-track spans, so they cannot live on the span stack; the
+        aggregate goes on the ``aux`` track instead (its time is already
+        inside the main-track spans that triggered the pulls).  Emitted
+        exactly once, when the source closes -- a stream whose enumeration
+        is still open when the run ends is simply not reported.
+        """
+        tracer = self._tracer
+        self._tracer = None
+        if tracer is None or self._first_ts is None:
+            return
+        tracer.emit_span(
+            "stream_materialize",
+            None,
+            self._first_ts,
+            self._pull_seconds,
+            entries=len(self.entries),
+            complete=self.complete,
+        )
 
     def ensure(self, index: int) -> bool:
         """Materialize entries up to ``index``; False when none exists."""
@@ -1435,15 +1512,29 @@ class EnvStream:
             source = self._source
             if source is None:
                 return False
+            if self._tracer is not None:
+                pull_start = monotime()
+                if self._first_ts is None:
+                    self._first_ts = pull_start
+            else:
+                pull_start = None
             try:
                 env, available, deferred, unknowns = next(source)
             except StopIteration:
+                if pull_start is not None:
+                    self._pull_seconds += monotime() - pull_start
                 self._source = None
                 self.complete = True
+                self._emit_span()
                 return False
             except CheckBudgetExceeded:
+                if pull_start is not None:
+                    self._pull_seconds += monotime() - pull_start
                 self._source = None
+                self._emit_span()
                 return False
+            if pull_start is not None:
+                self._pull_seconds += monotime() - pull_start
             canon = self._canon
             entry = _StreamEntry()
             if canon is None:
@@ -1480,6 +1571,7 @@ class EnvStream:
                 # leave the stream marked incomplete.
                 self._source.close()
                 self._source = None
+                self._emit_span()
         return True
 
 # Sentinel for the lazily computed unfold key in ``_solve_pred`` (the key

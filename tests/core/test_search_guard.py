@@ -10,6 +10,7 @@ as a counter increase long before it shows up in wall time.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,11 @@ BASELINE_PATH = Path(__file__).parent.parent / "data" / "search_guard_baseline.j
 #: The fixed guard workload (benchmark names, all run with seed 0).
 WORKLOAD = ("sll/insertFront", "sll/reverse", "dll/append", "dll/concat")
 
+#: Escape hatch someone will eventually reach for: point this env var at a
+#: cache file to run the guard workload with the disk tier on.  The guard
+#: then fails -- deliberately, see ``run_workload``.
+CACHE_ENV_VAR = "REPRO_SEARCH_GUARD_CACHE"
+
 
 @pytest.fixture(scope="module")
 def baseline():
@@ -32,11 +38,27 @@ def baseline():
 
 def run_workload(name: str) -> dict[str, int]:
     benchmark = get_benchmark(name)
-    sling = Sling(
-        benchmark.program, benchmark.predicates, SlingConfig(discard_crashed_runs=True)
+    config = SlingConfig(
+        discard_crashed_runs=True,
+        persistent_cache=os.environ.get(CACHE_ENV_VAR) or None,
     )
+    sling = Sling(benchmark.program, benchmark.predicates, config)
     sling.infer_function(benchmark.function, benchmark.test_cases(0))
-    return sling.cache_stats()
+    stats = sling.cache_stats()
+    if "counter_semantics" in stats:
+        # The pinned baselines only mean anything cache-off: a stream served
+        # from disk counts neither ``skeletons_solved`` nor
+        # ``env_stream_reuses`` (see docs/performance.md), so every exact
+        # pin below would "drift" for reasons that have nothing to do with
+        # the screening pipeline.  Fail loudly instead of mysteriously.
+        pytest.fail(
+            f"search-guard workload ran with the persistent cache on "
+            f"({CACHE_ENV_VAR} is set): disk-served streams count neither "
+            "skeletons_solved nor env_stream_reuses, so the pinned baselines "
+            "in tests/data/search_guard_baseline.json are not comparable. "
+            "Unset the variable to run the guard."
+        )
+    return stats
 
 
 class TestSearchSpaceGuard:
@@ -152,6 +174,19 @@ class TestScreeningNeverChangesResults:
             )
         )
         assert screened == unscreened
+
+
+class TestGuardRefusesPersistentCache:
+    """The guard must refuse to run against a disk tier, pointedly."""
+
+    def test_cache_env_var_fails_with_pointed_message(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "guard.sqlite"))
+        with pytest.raises(pytest.fail.Exception) as excinfo:
+            run_workload("sll/insertFront")
+        message = str(excinfo.value)
+        assert "skeletons_solved" in message
+        assert "env_stream_reuses" in message
+        assert CACHE_ENV_VAR in message
 
 
 class TestNocacheSweepDisablesPersistentCache:

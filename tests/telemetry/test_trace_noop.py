@@ -1,0 +1,70 @@
+"""Tracing off (the default) must be a provable no-op.
+
+``telemetry=None`` is the default of every entry point; these tests pin the
+two halves of the zero-cost claim: no tracer object exists anywhere in the
+pipeline, and a traced run produces bit-identical inference results to an
+untraced one.
+"""
+
+import os
+
+from repro.benchsuite.registry import get_benchmark
+from repro.core.sling import Sling, SlingConfig
+from repro.telemetry import Telemetry
+
+
+class TestUntracedDefault:
+    def test_no_tracer_anywhere_by_default(self):
+        benchmark = get_benchmark("sll/insertFront")
+        sling = Sling(
+            benchmark.program, benchmark.predicates, SlingConfig(discard_crashed_runs=True)
+        )
+        assert sling.telemetry is None
+        assert sling.tracer is None
+        assert sling.checker.tracer is None
+
+    def test_untraced_run_touches_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        benchmark = get_benchmark("sll/insertFront")
+        sling = Sling(
+            benchmark.program, benchmark.predicates, SlingConfig(discard_crashed_runs=True)
+        )
+        sling.infer_function(benchmark.function, benchmark.test_cases(0))
+        assert os.listdir(tmp_path) == []
+
+
+class TestTracingNeverChangesResults:
+    def test_traced_run_is_bit_identical(self, tmp_path):
+        benchmark = get_benchmark("sll/reverse")
+
+        def invariants(config: SlingConfig) -> list[str]:
+            sling = Sling(benchmark.program, benchmark.predicates, config)
+            spec = sling.infer_function(benchmark.function, benchmark.test_cases(0))
+            return [invariant.pretty() for invariant in spec.all_invariants()]
+
+        untraced = invariants(SlingConfig(discard_crashed_runs=True))
+        telemetry = Telemetry(tmp_path / "trace.ndjson")
+        traced = invariants(
+            SlingConfig(discard_crashed_runs=True, telemetry=telemetry)
+        )
+        telemetry.close()
+        assert untraced == traced
+
+    def test_traced_counters_are_identical(self, tmp_path):
+        benchmark = get_benchmark("dll/append")
+
+        def counters(config: SlingConfig) -> dict:
+            sling = Sling(benchmark.program, benchmark.predicates, config)
+            sling.infer_function(benchmark.function, benchmark.test_cases(0))
+            return sling.cache_counters().as_dict()
+
+        untraced = counters(SlingConfig(discard_crashed_runs=True))
+        telemetry = Telemetry(tmp_path / "trace.ndjson")
+        traced = counters(SlingConfig(discard_crashed_runs=True, telemetry=telemetry))
+        telemetry.close()
+        # The unfolding caches live on the shared registry and warm across
+        # runs; everything else must match exactly.
+        for key in untraced:
+            if key.startswith("unfold_"):
+                continue
+            assert untraced[key] == traced[key], key
