@@ -6,15 +6,19 @@ grows with structure size and with the number of traces, which is the
 empirical justification for the "few traces of size 10" input protocol.
 """
 
+import itertools
 import random
 
 import pytest
 
+from repro.core.infer_atom import Candidate, _candidate_variant
 from repro.datagen import make_avl, make_bst, make_dll, make_sll
 from repro.lang import RuntimeHeap, standard_structs
-from repro.sl.checker import ModelChecker
+from repro.sl.checker import ModelChecker, build_skeleton
+from repro.sl.exprs import Nil, Var
 from repro.sl.model import Heap, HeapCell, StackHeapModel
 from repro.sl.parser import parse_formula
+from repro.sl.spatial import PredApp, SymHeap
 from repro.sl.stdpreds import standard_predicates
 
 _STRUCTS = standard_structs()
@@ -69,3 +73,109 @@ def test_checker_rejection_cost(benchmark):
     wrong = parse_formula("sll(x)")
     result = benchmark.pedantic(_CHECKER.check, args=(model, wrong), rounds=3, iterations=1)
     assert result is None
+
+
+# ---------------------------------------------------------------------------
+# Columnar kernel vs legacy per-variant scan (PR 8)
+# ---------------------------------------------------------------------------
+#
+# Group decision over synthetic streams of varying entry counts: an sll of
+# ``size`` nodes gives the lseg skeleton a stream of size+1 entries (one per
+# suffix hole), and the full candidate lattice of lseg supplies a realistic
+# mix of pinned and pin-free variants.  The kernel resolves the pinned ones
+# through the slot indexes and memoizes the pin-free scan; the legacy path
+# re-scans the stream once per variant.
+
+_FRESH = ("u91", "u92")
+
+
+def _lseg_batch(size: int):
+    """(models, skeleton, variants) for one lseg group over an sll chain."""
+    cells = {
+        addr: HeapCell("SllNode", {"next": addr + 1 if addr < size else 0})
+        for addr in range(1, size + 1)
+    }
+    model = StackHeapModel(
+        {"x": 1, "y": size // 2 or 0},
+        Heap(cells),
+        {"x": "SllNode*", "y": "SllNode*"},
+    )
+    fresh = set(_FRESH)
+    pool = ["x", "y", "nil", *_FRESH[:1]]
+    variants = []
+    seen = set()
+    for permutation in itertools.permutations(pool, 2):
+        if permutation[0] != "x":
+            continue
+        signature = tuple("?" if name in fresh else name for name in permutation)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        candidate = Candidate(permutation, fresh)
+        used_fresh = tuple(n for n in permutation if n in fresh)
+        formula = SymHeap(
+            exists=used_fresh,
+            spatial=PredApp(
+                "lseg",
+                [Nil() if n == "nil" else Var(n) for n in permutation],
+            ),
+        )
+        variants.append(_candidate_variant(candidate, formula, 0))
+    skeleton = build_skeleton("lseg", 2, "x", 0)
+    return [model], skeleton, variants
+
+
+@pytest.mark.parametrize("entries", [8, 32, 128])
+@pytest.mark.parametrize("path", ["kernel", "scan"])
+def test_group_decision_kernel_vs_scan(benchmark, entries, path):
+    """One candidate group settled against a stream of ``entries`` entries.
+
+    Run via ``make bench-micro``; compare the ``kernel`` and ``scan`` rows
+    at equal entry counts.  A fresh checker per round keeps the stream memo
+    and the settle-record cache cold, so the timing covers the stream solve
+    plus the decision pass itself.
+    """
+    models, skeleton, variants = _lseg_batch(entries - 1)
+
+    def setup():
+        checker = ModelChecker(
+            standard_predicates(), columnar_kernels=(path == "kernel")
+        )
+        return (checker,), {}
+
+    def run(checker):
+        return checker.check_batch(models, skeleton, variants, drop_vacuous=False)
+
+    outcomes = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert len(outcomes) == len(variants)
+
+
+def _outcome_key(outcomes):
+    key = []
+    for outcome in outcomes:
+        if outcome is None or not isinstance(outcome, list):
+            key.append(outcome)
+        else:
+            key.append(
+                [
+                    r if r is None else (r.residual, dict(r.instantiation), set(r.consumed))
+                    for r in outcome
+                ]
+            )
+    return key
+
+
+@pytest.mark.parametrize("entries", [64])
+def test_group_decision_paths_agree(entries):
+    """The two paths must produce identical outcomes on the same batch
+    (cheap end-to-end identity check riding along with the micro-bench)."""
+    models, skeleton, variants = _lseg_batch(entries - 1)
+    outcomes = {}
+    for path in ("kernel", "scan"):
+        checker = ModelChecker(
+            standard_predicates(), columnar_kernels=(path == "kernel")
+        )
+        outcomes[path] = checker.check_batch(
+            models, skeleton, variants, drop_vacuous=False
+        )
+    assert _outcome_key(outcomes["kernel"]) == _outcome_key(outcomes["scan"])

@@ -124,6 +124,13 @@ class CacheStats:
     #: Exact-search selections that were enumeration-order dependent (see
     #: :class:`repro.sl.screen.ScreeningStats`).
     exact_selection_ambiguities: int = 0
+    # Columnar-kernel counters (``repro.sl.kernels``): group-kernel
+    # invocations, variants resolved via posting-list intersection over the
+    # stream slot indexes, and pin-free variants that kept the full scan.
+    # All zero when ``SlingConfig.columnar_kernels`` is off.
+    kernel_groups: int = 0
+    stream_index_hits: int = 0
+    kernel_scan_fallbacks: int = 0
     # Persistent-cache counters (:mod:`repro.cache`): skeleton streams
     # served from / missed by the disk tier, rows evicted by the size cap,
     # on-disk cache size, and failures absorbed (corruption, version skew,
@@ -158,6 +165,9 @@ class CacheStats:
         self.canonical_stream_hits += other.canonical_stream_hits
         self.iso_exact_fallbacks += other.iso_exact_fallbacks
         self.exact_selection_ambiguities += other.exact_selection_ambiguities
+        self.kernel_groups += other.kernel_groups
+        self.stream_index_hits += other.stream_index_hits
+        self.kernel_scan_fallbacks += other.kernel_scan_fallbacks
         self.disk_hits += other.disk_hits
         self.disk_misses += other.disk_misses
         self.disk_evictions += other.disk_evictions
@@ -226,6 +236,9 @@ class CacheStats:
             "canonical_stream_hits": self.canonical_stream_hits,
             "iso_exact_fallbacks": self.iso_exact_fallbacks,
             "exact_selection_ambiguities": self.exact_selection_ambiguities,
+            "kernel_groups": self.kernel_groups,
+            "stream_index_hits": self.stream_index_hits,
+            "kernel_scan_fallbacks": self.kernel_scan_fallbacks,
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
             "disk_hit_rate": round(self.disk_hit_rate, 4),
@@ -836,6 +849,7 @@ def nocache_sweep_config() -> SlingConfig:
         batch_by_skeleton=False,
         dedupe_isomorphic_models=False,
         canonical_stream_keys=False,
+        columnar_kernels=False,
         persistent_cache=None,
     )
 

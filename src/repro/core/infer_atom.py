@@ -168,7 +168,9 @@ def _infer_inductive(
        per (predicate, root position) with the pure slot deltas attached --
        and decide each group with ``checker.check_batch``, which runs the
        heap-matching search once per (skeleton, model) instead of once per
-       candidate;
+       candidate and (with ``columnar_kernels`` on) settles the whole
+       group's variants in one columnar pass over the stream's slot indexes
+       (:mod:`repro.sl.kernels`) rather than one scan per variant;
     4. assemble accepted candidates into :class:`AtomResult`\\ s in
        enumeration order.
     """

@@ -91,6 +91,12 @@ class SlingConfig:
     #: canonical heap forms, sharing streams across address-renamed models
     #: (never changes results; see ``docs/performance.md``).
     canonical_stream_keys: bool = True
+    #: Decide candidate groups through the columnar group kernel
+    #: (:mod:`repro.sl.kernels`): posting-list indexes over the skeleton
+    #: streams' slot columns plus code-generated matchers settle all
+    #: variants of a group in one pass, instead of a compiled-closure scan
+    #: per variant (never changes results; see ``docs/performance.md``).
+    columnar_kernels: bool = True
     #: Variable-analysis order: "reachability" (the paper's heuristic),
     #: "stack" (declaration order) or "reverse" (ablation baselines).
     variable_order: str = "reachability"
@@ -157,6 +163,7 @@ class Sling:
             batch_by_skeleton=self.config.batch_by_skeleton,
             canonical_stream_keys=self.config.canonical_stream_keys,
             structs=program.structs,
+            columnar_kernels=self.config.columnar_kernels,
         )
         self.checker.tracer = self.tracer
         #: Disk tier beneath the checker's canonical-keyed caches; ``None``

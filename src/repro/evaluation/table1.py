@@ -97,6 +97,11 @@ class ProgramResult:
     canonical_stream_hits: int = 0
     iso_exact_fallbacks: int = 0
     exact_selection_ambiguities: int = 0
+    # Columnar-kernel counters (see ``repro.sl.kernels``; all zero when
+    # ``SlingConfig.columnar_kernels`` is off).
+    kernel_groups: int = 0
+    stream_index_hits: int = 0
+    kernel_scan_fallbacks: int = 0
     # Persistent-cache counters (all zero unless the run set
     # ``SlingConfig.persistent_cache``; see :mod:`repro.cache`).
     disk_hits: int = 0

@@ -143,6 +143,14 @@ class ModelChecker:
         environment before being instantiated (skipping, e.g., recursive
         cases whose root address is not available).  Results are unchanged
         either way.
+    columnar_kernels:
+        When true (the default), :meth:`check_batch` settles all variants of
+        a candidate group through the columnar group kernel
+        (:mod:`repro.sl.kernels`): per-position posting-list indexes over the
+        stream's slot columns plus code-generated matchers, instead of the
+        per-variant closure scan.  Verdicts are identical either way (the
+        kernel replicates :meth:`_decide_variant`'s selection rule exactly);
+        only the per-entry work and the ``kernel_*`` counters change.
     """
 
     def __init__(
@@ -158,6 +166,7 @@ class ModelChecker:
         stream_max_entries: int = 4096,
         canonical_stream_keys: bool = True,
         structs=None,
+        columnar_kernels: bool = True,
     ):
         self.registry = registry
         #: Key skeleton streams and learned refuters on canonical heap forms
@@ -208,6 +217,19 @@ class ModelChecker:
         #: Optional span tracer (set by the owning :class:`Sling`; ``None``
         #: keeps ``check_all``/``check_batch`` on the untraced fast path).
         self.tracer = None
+        self.columnar_kernels = columnar_kernels
+        #: The group decision kernel (``None`` keeps the legacy per-variant
+        #: scan).  Imported lazily: :mod:`repro.sl.kernels` imports names
+        #: from this module at load time.
+        self._kernel = None
+        if columnar_kernels:
+            from repro.sl.kernels import decide_group
+
+            self._kernel = decide_group
+        #: Registry fingerprint keying the process-wide code-gen matcher
+        #: cache (computed lazily on first kernel use; see
+        #: :mod:`repro.cache.codegen`).
+        self._codegen_space: str | None = None
 
     # ------------------------------------------------------------------ API --
 
@@ -596,38 +618,80 @@ class ModelChecker:
                 continue
             stream, view = self._get_stream(skeleton, model, root_position, root_value)
             refuted_here = 0
-            for index in live:
-                variant = variants[index]
-                required = variant.resolve(stack)
-                if required is None:
-                    # A free variable of the candidate has no stack value in
-                    # this model: the exact search refutes it outright.
-                    pending[index] = False
-                    refuted[index] = True
-                    refuted_here += 1
-                    continue
-                positions = tuple(pair[0] for pair in required)
-                values = tuple(pair[1] for pair in required)
-                cached = matchers[index]
-                if cached is None or cached[0] != positions:
-                    cached = (
-                        positions,
-                        _compile_matcher(positions, slot_names, self._discharge_deferred),
+            if self._kernel is not None:
+                # Columnar path: resolve every live variant's requirements,
+                # then settle the whole group against this model in one
+                # kernel invocation (posting-list intersections over the
+                # stream's slot columns, code-generated deferred endgames).
+                work: list[tuple[int, PureVariant, tuple, tuple]] = []
+                for index in live:
+                    variant = variants[index]
+                    required = variant.resolve(stack)
+                    if required is None:
+                        # A free variable of the candidate has no stack value
+                        # in this model: the exact search refutes it outright.
+                        pending[index] = False
+                        refuted[index] = True
+                        refuted_here += 1
+                        continue
+                    work.append(
+                        (
+                            index,
+                            variant,
+                            tuple(pair[0] for pair in required),
+                            tuple(pair[1] for pair in required),
+                        )
                     )
-                    matchers[index] = cached
-                verdict = self._decide_variant(
-                    stream, view, variant, cached[1], values, slot_names, stack, model, domain
-                )
-                if verdict is None:
-                    pending[index] = False
-                    refuted[index] = True
-                    refuted_here += 1
-                elif verdict is _UNDECIDED:
-                    needs_exact[index] = True
-                else:
-                    settled[index][model_index] = verdict
-                    if verdict.consumed:
-                        vacuous_ok[index] = False
+                if work:
+                    verdicts = self._run_kernel(
+                        atom.name, root_position, stream, view, slot_names,
+                        stack, model, domain, work,
+                    )
+                    for item, verdict in zip(work, verdicts):
+                        index = item[0]
+                        if verdict is None:
+                            pending[index] = False
+                            refuted[index] = True
+                            refuted_here += 1
+                        elif verdict is _UNDECIDED:
+                            needs_exact[index] = True
+                        else:
+                            settled[index][model_index] = verdict
+                            if verdict.consumed:
+                                vacuous_ok[index] = False
+            else:
+                for index in live:
+                    variant = variants[index]
+                    required = variant.resolve(stack)
+                    if required is None:
+                        # A free variable of the candidate has no stack value
+                        # in this model: the exact search refutes it outright.
+                        pending[index] = False
+                        refuted[index] = True
+                        refuted_here += 1
+                        continue
+                    positions = tuple(pair[0] for pair in required)
+                    values = tuple(pair[1] for pair in required)
+                    cached = matchers[index]
+                    if cached is None or cached[0] != positions:
+                        cached = (
+                            positions,
+                            _compile_matcher(positions, slot_names, self._discharge_deferred),
+                        )
+                        matchers[index] = cached
+                    verdict = self._decide_variant(
+                        stream, view, variant, cached[1], values, slot_names, stack, model, domain
+                    )
+                    if verdict is None:
+                        pending[index] = False
+                        refuted[index] = True
+                        refuted_here += 1
+                    elif verdict is _UNDECIDED:
+                        needs_exact[index] = True
+                    else:
+                        settled[index][model_index] = verdict
+                        if verdict.consumed:
+                            vacuous_ok[index] = False
             if refuted_here:
                 refuted_per_model[model_index] = refuted_here
                 if position == 0:
@@ -650,6 +714,58 @@ class ModelChecker:
             else:
                 outcomes.append(settled[index])
         return outcomes
+
+    def _run_kernel(
+        self,
+        predicate: str,
+        root_position: int,
+        stream: "EnvStream",
+        view: "_StreamView",
+        slot_names: tuple[str, ...],
+        stack: dict[str, int],
+        model: StackHeapModel,
+        domain: frozenset[int],
+        work: list,
+    ) -> list:
+        """One group-kernel invocation, wrapped in a ``variant_decide`` span.
+
+        ``work`` items are ``(variant index, variant, positions, values)``;
+        the returned verdict list is aligned with it.  The untraced path is
+        a single attribute test away from calling the kernel directly.
+        """
+        kernel = self._kernel
+        if self.tracer is None:
+            return kernel(
+                self, predicate, root_position, stream, view, slot_names,
+                stack, model, domain, work,
+            )
+        with self.tracer.span(
+            "variant_decide", name=predicate, variants=len(work)
+        ) as span:
+            verdicts = kernel(
+                self, predicate, root_position, stream, view, slot_names,
+                stack, model, domain, work,
+            )
+            span.set(entries=len(stream.entries), complete=stream.complete)
+        return verdicts
+
+    def codegen_space(self) -> str:
+        """Registry fingerprint namespacing this checker's code-gen matchers.
+
+        The process-wide matcher cache (:mod:`repro.cache.codegen`) is shared
+        across checkers; keying it by the PR 6 registry fingerprint means a
+        predicate-definition change can never serve a matcher generated for
+        another registry.  Computed once per checker (the registry is fixed
+        at construction).
+        """
+        space = self._codegen_space
+        if space is None:
+            # Imported lazily: repro.cache's package init imports the stream
+            # serializer, which imports this module.
+            from repro.cache.fingerprint import registry_fingerprint
+
+            space = self._codegen_space = registry_fingerprint(self.registry)
+        return space
 
     def _decide_variant(
         self,
@@ -1456,6 +1572,9 @@ class EnvStream:
         "_tracer",
         "_pull_seconds",
         "_first_ts",
+        "_indexes",
+        "_settle_cache",
+        "_has_deferred",
     )
 
     def __init__(
@@ -1481,6 +1600,26 @@ class EnvStream:
         self._tracer = tracer
         self._pull_seconds = 0.0
         self._first_ts: float | None = None
+        #: Columnar side-representation: slot position -> ``(postings,
+        #: wildcards)`` where ``postings`` maps a stored slot value to the
+        #: ascending list of entry indices holding it and ``wildcards`` is
+        #: the ascending list of entries whose slot is unbound (``None``,
+        #: compatible with any pinned value).  Built lazily per position by
+        #: :meth:`position_index`, only after the source is exhausted --
+        #: entries are immutable from then on, so the index never goes
+        #: stale.  Values live in the stream's own coordinate space
+        #: (concrete addresses or canonical tags); consumers encode their
+        #: query values through their ``_StreamView`` first.
+        self._indexes: dict[int, tuple[dict, list[int]]] | None = None
+        #: Settle-record memo of the group kernel: ``(positions, encoded
+        #: values, consumer key) -> record``.  A record captures the whole
+        #: match/best-size/tie computation for one pinned-value combination,
+        #: which is variant-independent -- only the final instantiation step
+        #: differs per variant.  Streams are reused across groups and
+        #: batches, so records carry over with them.  See
+        #: :func:`repro.sl.kernels.decide_group` for the key discipline.
+        self._settle_cache: dict | None = None
+        self._has_deferred: bool | None = None
 
     def _emit_span(self) -> None:
         """Flush the accumulated pull time as one ``aux``-track span.
@@ -1573,6 +1712,67 @@ class EnvStream:
                 self._source = None
                 self._emit_span()
         return True
+
+    def materialize(self) -> bool:
+        """Exhaust the source; True when the enumeration completed.
+
+        The group kernel settles every variant from the full entry list, so
+        it pulls the whole stream up front -- exactly the entries the
+        per-variant scan would have pulled (``_decide_variant`` has no early
+        exit short of an ``_UNDECIDED`` bail-out, and those verdicts do not
+        depend on the unpulled tail either).  After this call ``_source`` is
+        ``None`` and the entry list is immutable.
+        """
+        index = len(self.entries)
+        while self.ensure(index):
+            index += 1
+        return self.complete
+
+    def position_index(self, position: int) -> tuple[dict, list[int]]:
+        """The ``(postings, wildcards)`` index of one slot position.
+
+        Built on first request and cached for the stream's lifetime; callers
+        must :meth:`materialize` first (the kernel does).  A variant pinning
+        ``position`` to value ``v`` matches exactly the entries in
+        ``postings.get(v, []) + wildcards`` -- both lists ascending, so
+        ordered merges preserve the stream's enumeration order, which the
+        selection rule ("first solution of maximal size") depends on.
+        """
+        indexes = self._indexes
+        if indexes is None:
+            indexes = self._indexes = {}
+        cached = indexes.get(position)
+        if cached is None:
+            postings: dict = {}
+            wildcards: list[int] = []
+            for index, entry in enumerate(self.entries):
+                value = entry.values[position]
+                if value is None:
+                    wildcards.append(index)
+                else:
+                    posting = postings.get(value)
+                    if posting is None:
+                        postings[value] = [index]
+                    else:
+                        posting.append(index)
+            cached = (postings, wildcards)
+            indexes[position] = cached
+        return cached
+
+    def has_deferred(self) -> bool:
+        """True when any entry carries deferred pure goals.
+
+        Computed once after materialization (entries are immutable then).
+        Deferred-free streams settle view-independently -- matching happens
+        entirely in the stream's own coordinate space -- which lets the
+        kernel share settle records across every consumer view.
+        """
+        cached = self._has_deferred
+        if cached is None:
+            cached = self._has_deferred = any(
+                entry.deferred is not None for entry in self.entries
+            )
+        return cached
 
 # Sentinel for the lazily computed unfold key in ``_solve_pred`` (the key
 # itself may legitimately be ``None`` for non-canonical argument tuples).

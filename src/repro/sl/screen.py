@@ -85,6 +85,13 @@ class ScreeningStats:
     #: isomorphism-dedup layer snapshots this around each location: such
     #: selections must not be replayed onto address-renamed models.
     exact_selection_ambiguities: int = 0
+    #: Columnar-kernel counters (see :mod:`repro.sl.kernels`): group-kernel
+    #: invocations (one per candidate group x model), variants resolved by
+    #: posting-list intersection over the stream's slot indexes, and
+    #: pin-free variants that kept the full entry scan as their fallback.
+    kernel_groups: int = 0
+    stream_index_hits: int = 0
+    kernel_scan_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -101,6 +108,9 @@ class ScreeningStats:
             "batch_exact_fallbacks": self.batch_exact_fallbacks,
             "canonical_stream_hits": self.canonical_stream_hits,
             "exact_selection_ambiguities": self.exact_selection_ambiguities,
+            "kernel_groups": self.kernel_groups,
+            "stream_index_hits": self.stream_index_hits,
+            "kernel_scan_fallbacks": self.kernel_scan_fallbacks,
         }
 
 

@@ -94,6 +94,13 @@ class TestSearchSpaceGuard:
             "models_deduped",
             "canonical_stream_hits",
             "iso_exact_fallbacks",
+            # The columnar-kernel shape is deterministic too: invocations,
+            # index-resolved variants and pin-free scan fallbacks per
+            # workload only move when the grouping or the kernel's
+            # resolution strategy changes.
+            "kernel_groups",
+            "stream_index_hits",
+            "kernel_scan_fallbacks",
             # Pinned at zero: the persistent cache tier must be provably
             # inert for default (cache-off) runs.
             "disk_hits",
@@ -136,6 +143,9 @@ class TestSearchSpaceGuard:
             "env_stream_reuses",
             "pure_variant_evals",
             "batch_exact_fallbacks",
+            "kernel_groups",
+            "stream_index_hits",
+            "kernel_scan_fallbacks",
             "iso_classes",
             "models_deduped",
             "canonical_stream_hits",
@@ -171,6 +181,7 @@ class TestScreeningNeverChangesResults:
                 batch_by_skeleton=False,
                 dedupe_isomorphic_models=False,
                 canonical_stream_keys=False,
+                columnar_kernels=False,
             )
         )
         assert screened == unscreened
@@ -202,4 +213,5 @@ class TestNocacheSweepDisablesPersistentCache:
         assert config.canonical_stream_keys is False
         assert config.batch_by_skeleton is False
         assert config.dedupe_isomorphic_models is False
+        assert config.columnar_kernels is False
         assert config.checker_cache_size == 0

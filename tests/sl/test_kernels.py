@@ -1,0 +1,563 @@
+"""Columnar group kernel: ``decide_group`` must equal ``_decide_variant``.
+
+The contract under test is the exactness guarantee of
+:func:`repro.sl.kernels.decide_group` (see its docstring): for every
+(variant, model) pair the kernel's verdict -- ``None`` refutation,
+``_UNDECIDED`` sentinel or settled :class:`CheckResult` -- is *the same
+object kind and value* the legacy per-variant scan produces, including the
+``_UNDECIDED`` triggers (incomplete stream, ``max_solutions`` overflow,
+tie-ambiguity between distinct best reductions).
+
+The property tests drive randomized sll / dll / tree / sorted-list
+workloads through the full candidate lattice of a predicate, under both
+stream-view kinds: concretely-keyed streams (identity view) and
+canonically-keyed streams (address-translating view).  The unit tests pin
+each ``_UNDECIDED`` trigger deterministically, exercise the generated
+matchers against the legacy closures on synthetic entries, and check the
+process-wide code-gen cache discipline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.codegen import (
+    clear_codegen_cache,
+    codegen_cache_info,
+    matcher_for,
+    matcher_source,
+)
+from repro.core.infer_atom import Candidate, _candidate_variant
+from repro.lang.types import standard_structs
+from repro.sl import kernels
+from repro.sl.checker import (
+    EnvStream,
+    ModelChecker,
+    _IDENTITY_VIEW,
+    _UNDECIDED,
+    _compile_matcher,
+    build_skeleton,
+)
+from repro.sl.exprs import Nil, Var
+from repro.sl.model import Heap, HeapCell, StackHeapModel
+from repro.sl.spatial import PredApp, SymHeap
+from repro.sl.stdpreds import standard_predicates
+
+_PREDICATES = standard_predicates()
+_STRUCTS = standard_structs()
+
+_FRESH = ("u91", "u92", "u93")
+
+
+# ---------------------------------------------------------------------------
+# model generators (mirror tests/sl/test_check_batch.py)
+# ---------------------------------------------------------------------------
+
+
+def _sll_heap(size: int, base: int = 1) -> dict[int, HeapCell]:
+    return {
+        base + index: HeapCell(
+            "SllNode", {"next": base + index + 1 if index + 1 < size else 0}
+        )
+        for index in range(size)
+    }
+
+
+def _dll_heap(size: int) -> dict[int, HeapCell]:
+    cells = {}
+    for index in range(1, size + 1):
+        cells[index] = HeapCell(
+            "DllNode", {"next": index + 1 if index < size else 0, "prev": index - 1}
+        )
+    return cells
+
+
+def _tree_heap(size: int) -> dict[int, HeapCell]:
+    cells = {}
+    for index in range(1, size + 1):
+        left = 2 * index if 2 * index <= size else 0
+        right = 2 * index + 1 if 2 * index + 1 <= size else 0
+        cells[index] = HeapCell("TNode", {"left": left, "right": right})
+    return cells
+
+
+def _sorted_heap(values: list[int]) -> dict[int, HeapCell]:
+    cells = {}
+    next_addr = 0
+    for index in range(len(values) - 1, -1, -1):
+        addr = index + 1
+        cells[addr] = HeapCell("SNode", {"next": next_addr, "data": values[index]})
+        next_addr = addr
+    return cells
+
+
+def _stack_value(choice: int, size: int) -> int:
+    if choice == 0 or size == 0:
+        return 0
+    if choice <= size:
+        return choice
+    return 997  # dangling: never allocated by the generators above
+
+
+def _candidates(pred_name: str, boundary: list[str], root: str) -> list[Candidate]:
+    predicate = _PREDICATES.get(pred_name)
+    arity = predicate.arity
+    pool = list(boundary) + list(_FRESH[: max(arity - 1, 0)])
+    fresh = set(_FRESH)
+    seen: set[tuple] = set()
+    out: list[Candidate] = []
+    for permutation in itertools.permutations(pool, arity):
+        if root not in permutation:
+            continue
+        signature = tuple("?" if name in fresh else name for name in permutation)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        out.append(Candidate(permutation, fresh))
+    return out
+
+
+def _variant_of(pred_name: str, candidate: Candidate, position: int):
+    used_fresh = tuple(name for name in candidate.permutation if name in candidate.fresh)
+    formula = SymHeap(
+        exists=used_fresh,
+        spatial=PredApp(
+            pred_name,
+            [Nil() if name == "nil" else Var(name) for name in candidate.permutation],
+        ),
+    )
+    return _candidate_variant(candidate, formula, position)
+
+
+# ---------------------------------------------------------------------------
+# the verdict-equivalence harness
+# ---------------------------------------------------------------------------
+
+
+def _verdict_key(verdict):
+    if verdict is None:
+        return "refuted"
+    if verdict is _UNDECIDED:
+        return "undecided"
+    return (verdict.residual, dict(verdict.instantiation), set(verdict.consumed))
+
+
+def _checker(canonical: bool, **overrides) -> ModelChecker:
+    return ModelChecker(
+        _PREDICATES,
+        canonical_stream_keys=canonical,
+        structs=_STRUCTS if canonical else None,
+        **overrides,
+    )
+
+
+def _assert_kernel_matches_scan(checker, pred_name, boundary, root, models):
+    """Per (variant, model): ``decide_group`` verdict == ``_decide_variant``.
+
+    Both paths read the same memoized stream (the kernel materializes it
+    first; the legacy scan then walks the identical snapshot), so any
+    divergence is the kernel's fault, not the enumeration's.
+    """
+    predicate = _PREDICATES.get(pred_name)
+    compared = 0
+    by_position: dict[int, list[Candidate]] = {}
+    for candidate in _candidates(pred_name, boundary, root):
+        by_position.setdefault(candidate.permutation.index(root), []).append(candidate)
+
+    for position, members in by_position.items():
+        skeleton = build_skeleton(predicate.name, predicate.arity, root, position)
+        atom = skeleton.spatial_atoms()[0]
+        slot_names = tuple(arg.name for arg in atom.args)
+        variants = [_variant_of(predicate.name, c, position) for c in members]
+        for model in models:
+            stack = model.stack_map
+            domain = model.heap.domain()
+            root_value = stack.get(root)
+            if root_value is None:
+                continue
+            stream, view = checker._get_stream(skeleton, model, position, root_value)
+            work = []
+            legacy = {}
+            for index, variant in enumerate(variants):
+                required = variant.resolve(stack)
+                if required is None:
+                    continue
+                positions = tuple(pair[0] for pair in required)
+                values = tuple(pair[1] for pair in required)
+                work.append((index, variant, positions, values))
+                matcher = _compile_matcher(
+                    positions, slot_names, checker._discharge_deferred
+                )
+                legacy[index] = checker._decide_variant(
+                    stream, view, variant, matcher, values, slot_names,
+                    stack, model, domain,
+                )
+            verdicts = kernels.decide_group(
+                checker, atom.name, position, stream, view, slot_names,
+                stack, model, domain, work,
+            )
+            assert len(verdicts) == len(work)
+            for item, verdict in zip(work, verdicts):
+                compared += 1
+                assert _verdict_key(verdict) == _verdict_key(legacy[item[0]]), (
+                    f"kernel verdict for {item[1].formula!r} diverges from "
+                    f"_decide_variant on model {model!r}"
+                )
+    assert compared > 0
+
+
+# ---------------------------------------------------------------------------
+# property tests, under both stream-view kinds
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+    y_choice=st.integers(min_value=0, max_value=7),
+    canonical=st.booleans(),
+)
+def test_sll_kernel_equals_scan(sizes, y_choice, canonical):
+    checker = _checker(canonical)
+    models = [
+        StackHeapModel(
+            {"x": 1 if size else 0, "y": _stack_value(y_choice, size)},
+            Heap(_sll_heap(size)),
+            {"x": "SllNode*", "y": "SllNode*"},
+        )
+        for size in sizes
+    ]
+    for pred in ("sll", "lseg"):
+        _assert_kernel_matches_scan(checker, pred, ["x", "y", "nil"], "x", models)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=2),
+    y_choice=st.integers(min_value=0, max_value=6),
+    corrupt=st.booleans(),
+    canonical=st.booleans(),
+)
+def test_dll_kernel_equals_scan(sizes, y_choice, corrupt, canonical):
+    checker = _checker(canonical)
+    models = []
+    for size in sizes:
+        cells = _dll_heap(size)
+        if corrupt and size >= 2:
+            fields = dict(cells[2].fields)
+            fields["prev"] = 2  # self-loop back-pointer: never a valid dll
+            cells[2] = HeapCell("DllNode", fields)
+        models.append(
+            StackHeapModel(
+                {"x": 1 if size else 0, "y": _stack_value(y_choice, size)},
+                Heap(cells),
+                {"x": "DllNode*", "y": "DllNode*"},
+            )
+        )
+    _assert_kernel_matches_scan(checker, "dll", ["x", "y", "nil"], "x", models)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=2),
+    y_choice=st.integers(min_value=0, max_value=8),
+    canonical=st.booleans(),
+)
+def test_tree_kernel_equals_scan(sizes, y_choice, canonical):
+    checker = _checker(canonical)
+    models = [
+        StackHeapModel(
+            {"x": 1 if size else 0, "y": _stack_value(y_choice, size)},
+            Heap(_tree_heap(size)),
+            {"x": "TNode*", "y": "TNode*"},
+        )
+        for size in sizes
+    ]
+    for pred in ("tree", "treeseg"):
+        _assert_kernel_matches_scan(checker, pred, ["x", "y", "nil"], "x", models)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=5),
+    y_choice=st.integers(min_value=0, max_value=7),
+    canonical=st.booleans(),
+)
+def test_sorted_list_kernel_equals_scan(values, y_choice, canonical):
+    """`sls`/`slseg` leave bound parameters to the deferred endgame: the
+    generated ``endgame`` must replicate the closure's binding order and the
+    ``_discharge_deferred`` bounds-fixpoint witness selection."""
+    checker = _checker(canonical)
+    size = len(values)
+    models = [
+        StackHeapModel(
+            {"x": 1 if size else 0, "y": _stack_value(y_choice, size)},
+            Heap(_sorted_heap(values)),
+            {"x": "SNode*", "y": "SNode*"},
+        )
+    ]
+    for pred in ("sls", "slseg"):
+        _assert_kernel_matches_scan(checker, pred, ["x", "y", "nil"], "x", models)
+
+
+# ---------------------------------------------------------------------------
+# deterministic _UNDECIDED triggers
+# ---------------------------------------------------------------------------
+
+
+class TestUndecidedTriggers:
+    def _tie_verdicts(self, entries):
+        """Kernel vs legacy verdict for a hand-built two-entry tie stream."""
+        checker = _checker(False)
+        model = StackHeapModel({"x": 1}, Heap(_sll_heap(2)), {"x": "SllNode*"})
+        stack = model.stack_map
+        domain = model.heap.domain()
+        skeleton = build_skeleton("lseg", 2, "x", 0)
+        atom = skeleton.spatial_atoms()[0]
+        slot_names = tuple(arg.name for arg in atom.args)
+        hole = slot_names[1]
+        source = iter(
+            [({"x": 1, hole: value}, avail, [], set()) for value, avail in entries]
+        )
+        stream = EnvStream(source, slot_names, len(model.heap), 16)
+        variant = _variant_of("lseg", Candidate(("x", "u91"), {"u91"}), 0)
+        work = [(0, variant, (), ())]
+        (kernel_verdict,) = kernels.decide_group(
+            checker, atom.name, 0, stream, _IDENTITY_VIEW, slot_names,
+            stack, model, domain, work,
+        )
+        matcher = _compile_matcher((), slot_names, checker._discharge_deferred)
+        legacy_verdict = checker._decide_variant(
+            stream, _IDENTITY_VIEW, variant, matcher, (), slot_names,
+            stack, model, domain,
+        )
+        return kernel_verdict, legacy_verdict
+
+    def test_residual_tie_ambiguity_is_undecided(self):
+        # Two solutions of equal consumed size but different availability
+        # sets: the "first of maximal size" rule cannot break the tie.
+        kernel_verdict, legacy_verdict = self._tie_verdicts(
+            [(2, [1]), (2, [2])]
+        )
+        assert kernel_verdict is _UNDECIDED and legacy_verdict is _UNDECIDED
+
+    def test_instantiation_tie_ambiguity_is_undecided(self):
+        # Same residual, but the tied solutions pin the candidate's fresh
+        # argument to different values.
+        kernel_verdict, legacy_verdict = self._tie_verdicts(
+            [(2, [1]), (997, [1])]
+        )
+        assert kernel_verdict is _UNDECIDED and legacy_verdict is _UNDECIDED
+
+    def test_agreeing_ties_settle(self):
+        # Ties that agree on residual and instantiation are not ambiguous.
+        kernel_verdict, legacy_verdict = self._tie_verdicts(
+            [(2, [1]), (2, [1])]
+        )
+        assert kernel_verdict is not _UNDECIDED
+        assert _verdict_key(kernel_verdict) == _verdict_key(legacy_verdict)
+
+    def test_max_solutions_overflow_is_undecided(self):
+        # lseg(x, u) on a 3-node list has four solutions (hole at every
+        # suffix); max_solutions=1 forces the overflow sentinel.
+        checker = _checker(False, max_solutions=1)
+        models = [
+            StackHeapModel({"x": 1}, Heap(_sll_heap(3)), {"x": "SllNode*"})
+        ]
+        _assert_kernel_matches_scan(checker, "lseg", ["x", "nil"], "x", models)
+        assert self._some_verdict(checker, "lseg", models) is _UNDECIDED
+
+    def test_incomplete_stream_is_undecided_without_scanning(self):
+        # A stream cut off by the entry cap can refute nothing; the kernel
+        # must return _UNDECIDED for every variant without touching entries.
+        checker = _checker(False, stream_max_entries=1)
+        models = [
+            StackHeapModel({"x": 1}, Heap(_sll_heap(3)), {"x": "SllNode*"})
+        ]
+        before = checker.screen_stats.pure_variant_evals
+        verdicts = self._group_verdicts(checker, "lseg", models)
+        assert verdicts and all(v is _UNDECIDED for v in verdicts)
+        assert checker.screen_stats.pure_variant_evals == before
+
+    def _group_verdicts(self, checker, pred_name, models):
+        predicate = _PREDICATES.get(pred_name)
+        model = models[0]
+        stack = model.stack_map
+        root_value = stack["x"]
+        skeleton = build_skeleton(predicate.name, predicate.arity, "x", 0)
+        atom = skeleton.spatial_atoms()[0]
+        slot_names = tuple(arg.name for arg in atom.args)
+        stream, view = checker._get_stream(skeleton, model, 0, root_value)
+        work = []
+        for index, candidate in enumerate(_candidates(pred_name, ["x", "nil"], "x")):
+            if candidate.permutation.index("x") != 0:
+                continue
+            variant = _variant_of(pred_name, candidate, 0)
+            required = variant.resolve(stack)
+            if required is None:
+                continue
+            work.append(
+                (
+                    index,
+                    variant,
+                    tuple(pair[0] for pair in required),
+                    tuple(pair[1] for pair in required),
+                )
+            )
+        return kernels.decide_group(
+            checker, atom.name, 0, stream, view, slot_names, stack, model,
+            model.heap.domain(), work,
+        )
+
+    def _some_verdict(self, checker, pred_name, models):
+        verdicts = self._group_verdicts(checker, pred_name, models)
+        for verdict in verdicts:
+            if verdict is _UNDECIDED:
+                return verdict
+        return None
+
+
+# ---------------------------------------------------------------------------
+# generated matchers vs legacy closures
+# ---------------------------------------------------------------------------
+
+
+class _FakeEntry:
+    def __init__(self, values, deferred=None, env=None, unknowns=None):
+        self.values = values
+        self.deferred = deferred
+        self.env = env
+        self.unknowns = unknowns
+
+
+class _IdentityView:
+    def decode_env(self, env):
+        return dict(env)
+
+
+class TestGeneratedMatchers:
+    SLOTS = ("x", "?w1", "?w2")
+
+    def _pairs(self, positions):
+        names = tuple(self.SLOTS[p] for p in positions)
+        generated = matcher_for("test-space", "p", 3, 0, positions, names)
+        closure = _compile_matcher(positions, self.SLOTS, self._discharge)
+        return generated, closure
+
+    @staticmethod
+    def _discharge(goals, env, unknowns):
+        # Stand-in endgame: succeed iff the pinned slot landed on an even
+        # value (deterministic, binding-sensitive).
+        return env if env.get("?w1", 0) % 2 == 0 else None
+
+    def test_match_agrees_with_closure_on_plain_entries(self):
+        (match, _), closure = self._pairs((1, 2))
+        for values in itertools.product((None, 5, 7), repeat=2):
+            entry = _FakeEntry(("root",) + values)
+            for pinned in itertools.product((5, 7), repeat=2):
+                expected = closure(entry, pinned, pinned, _IdentityView())
+                got = match(entry, pinned, pinned, _IdentityView(), self._discharge)
+                assert got == expected, (values, pinned)
+
+    def test_match_agrees_with_closure_on_deferred_entries(self):
+        (match, _), closure = self._pairs((1,))
+        view = _IdentityView()
+        for stored, pinned in (((None,), (4,)), ((None,), (5,)), ((4,), (4,))):
+            entry = _FakeEntry(
+                ("root",) + stored, deferred=("goal",), env={"?w1": stored[0]},
+                unknowns=frozenset({"?w1"}),
+            )
+            expected = closure(entry, pinned, pinned, view)
+            got = match(entry, pinned, pinned, view, self._discharge)
+            assert got == expected, (stored, pinned)
+
+    def test_endgame_binds_only_unbound_names(self):
+        (_, endgame), _ = self._pairs((1,))
+        entry = _FakeEntry(
+            ("root", None, None), deferred=("goal",), env={"?w1": None},
+            unknowns=frozenset({"?w1"}),
+        )
+        final = endgame(entry, (2,), _IdentityView(), self._discharge)
+        assert final == {"?w1": 2}
+        bound = _FakeEntry(
+            ("root", 7, None), deferred=("goal",), env={"?w1": 7},
+            unknowns=frozenset(),
+        )
+        assert endgame(bound, (2,), _IdentityView(), self._discharge) is None
+
+    def test_source_unrolls_one_comparison_per_pin(self):
+        source = matcher_source((1, 3), ("?w1", "?w3"))
+        assert source.count("entry_values[") == 2
+        assert "for " not in source  # straight-line by construction
+        compile(source, "<test>", "exec")
+
+
+class TestCodegenCache:
+    def test_same_signature_is_served_from_cache(self):
+        clear_codegen_cache()
+        first = matcher_for("space-a", "p", 2, 0, (1,), ("?w1",))
+        second = matcher_for("space-a", "p", 2, 0, (1,), ("?w1",))
+        assert first[0] is second[0] and first[1] is second[1]
+        assert codegen_cache_info()["entries"] == 1
+
+    def test_registry_fingerprint_namespaces_the_cache(self):
+        clear_codegen_cache()
+        first = matcher_for("space-a", "p", 2, 0, (1,), ("?w1",))
+        other = matcher_for("space-b", "p", 2, 0, (1,), ("?w1",))
+        assert first[0] is not other[0]
+        assert codegen_cache_info()["entries"] == 2
+
+    def test_checker_space_is_the_registry_fingerprint(self):
+        from repro.cache.fingerprint import registry_fingerprint
+
+        checker = _checker(False)
+        assert checker.codegen_space() == registry_fingerprint(_PREDICATES)
+        assert checker.codegen_space() is checker.codegen_space()
+
+
+# ---------------------------------------------------------------------------
+# hash-seed independence
+# ---------------------------------------------------------------------------
+
+
+_HASHSEED_SCRIPT = """
+import json
+from repro.benchsuite.registry import get_benchmark
+from repro.core.sling import Sling, SlingConfig
+
+bm = get_benchmark("dll/append")
+sling = Sling(bm.program, bm.predicates, SlingConfig(discard_crashed_runs=True))
+spec = sling.infer_function(bm.function, bm.test_cases(0))
+stats = sling.cache_stats()
+print(json.dumps({
+    "invariants": [inv.pretty() for inv in spec.all_invariants()],
+    "counters": {k: stats[k] for k in (
+        "pure_variant_evals", "kernel_groups", "stream_index_hits",
+        "kernel_scan_fallbacks", "batch_exact_fallbacks",
+    )},
+}, sort_keys=True))
+"""
+
+
+def test_kernel_verdicts_independent_of_hash_seed():
+    """The kernel's index lookups and settle-record keys are dict *lookups*,
+    never dict-order iteration: results and counters must be bit-identical
+    under different ``PYTHONHASHSEED`` values."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    outputs = []
+    for seed in ("0", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]

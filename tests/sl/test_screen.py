@@ -170,6 +170,9 @@ class TestScreeningStats:
             "env_stream_reuses",
             "pure_variant_evals",
             "batch_exact_fallbacks",
+            "kernel_groups",
+            "stream_index_hits",
+            "kernel_scan_fallbacks",
             "canonical_stream_hits",
             "exact_selection_ambiguities",
         }
