@@ -88,15 +88,26 @@ class CacheStore:
     ``load_errors`` counting how often something had to be ignored.
     """
 
-    def __init__(self, path, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(self, path, max_entries: int = DEFAULT_MAX_ENTRIES, fault_plan=None):
         self.path = os.fspath(path)
         self.max_entries = max_entries
         #: Failures swallowed so far (corruption, version skew, IO errors).
         self.load_errors = 0
+        #: Optional fault-injection plan (see :mod:`repro.faults`): the
+        #: ``cache_open``/``cache_read``/``cache_write`` sites sit *inside*
+        #: the defensive try blocks below, so an injected sqlite failure
+        #: exercises exactly the absorb-and-disable path a real one would.
+        self.fault_plan = fault_plan
         self._conn: sqlite3.Connection | None = None
         self._failed = False
 
     # ------------------------------------------------------------ plumbing --
+
+    def _inject(self, op: str) -> None:
+        if self.fault_plan is not None:
+            from repro.faults import maybe_inject
+
+            maybe_inject(self.fault_plan, op, qualifier=self.path)
 
     def _fail(self, exc: BaseException) -> None:
         """Disable the store after a failure (logged once, counted)."""
@@ -123,6 +134,7 @@ class CacheStore:
         if self._conn is not None:
             return self._conn
         try:
+            self._inject("cache_open")
             directory = os.path.dirname(os.path.abspath(self.path))
             if directory:
                 os.makedirs(directory, exist_ok=True)
@@ -202,6 +214,7 @@ class CacheStore:
         if conn is None:
             return None
         try:
+            self._inject("cache_read")
             row = conn.execute(
                 "SELECT payload FROM entries WHERE fingerprint = ? AND kind = ? AND key = ?",
                 (fingerprint, kind, key),
@@ -221,6 +234,7 @@ class CacheStore:
         if conn is None:
             return []
         try:
+            self._inject("cache_read")
             return conn.execute(
                 "SELECT key, payload FROM entries"
                 " WHERE fingerprint = ? AND kind = ?"
@@ -237,6 +251,7 @@ class CacheStore:
         if conn is None:
             return []
         try:
+            self._inject("cache_read")
             return conn.execute(
                 "SELECT fingerprint, kind, key, payload FROM entries"
                 " ORDER BY last_used ASC, rowid ASC"
@@ -262,6 +277,7 @@ class CacheStore:
             return 0
         stamp = time.time() if now is None else now
         try:
+            self._inject("cache_write")
             conn.executemany(
                 "INSERT OR REPLACE INTO entries"
                 " (fingerprint, kind, key, payload, hit_count, last_used, created)"
@@ -289,6 +305,7 @@ class CacheStore:
             return
         stamp = time.time() if now is None else now
         try:
+            self._inject("cache_write")
             conn.executemany(
                 "UPDATE entries SET hit_count = hit_count + 1, last_used = ?"
                 " WHERE fingerprint = ? AND kind = ? AND key = ?",

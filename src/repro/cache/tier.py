@@ -60,10 +60,20 @@ class PersistentCache:
     the store stats instead.
     """
 
-    def __init__(self, path, registry, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self, path, registry, max_entries: int = DEFAULT_MAX_ENTRIES, fault_plan=None
+    ):
         self.registry = registry
         self.fingerprint = registry_fingerprint(registry)
-        self.store = CacheStore(path, max_entries=max_entries)
+        self.store = CacheStore(path, max_entries=max_entries, fault_plan=fault_plan)
+        #: Tier-level kill switch: any exception escaping a mid-run cache
+        #: operation (the store absorbs sqlite errors itself, but decode
+        #: and filesystem surprises -- or an injected fault -- can escape)
+        #: disables the tier for the rest of the run instead of raising
+        #: out of a checker call.  Warned once, counted in
+        #: :attr:`disk_load_errors`.
+        self._disabled = False
+        self._tier_errors = 0
         self.disk_hits = 0
         self.disk_misses = 0
         self.disk_evictions = 0
@@ -156,13 +166,26 @@ class PersistentCache:
     # -------------------------------------------------------------- loads --
 
     def load_stream(self, key):
-        """The persisted stream under a canonical key, or ``None`` (a miss)."""
-        if self.tracer is None:
-            return self._load_stream(key)
-        with self.tracer.span("disk_io", name="load_stream") as span:
-            stream = self._load_stream(key)
-            span.set(hit=stream is not None)
-        return stream
+        """The persisted stream under a canonical key, or ``None`` (a miss).
+
+        Total: any failure escaping the load (the store absorbs sqlite
+        errors itself; this catches everything else, e.g. the cache file
+        deleted or made unreadable mid-sweep) disables the tier for the
+        rest of the run and reports a miss -- a broken cache degrades to a
+        cold run, never to a failed checker call.
+        """
+        if self._disabled:
+            return None
+        try:
+            if self.tracer is None:
+                return self._load_stream(key)
+            with self.tracer.span("disk_io", name="load_stream") as span:
+                stream = self._load_stream(key)
+                span.set(hit=stream is not None)
+            return stream
+        except Exception as exc:  # noqa: BLE001 -- absorbed, tier disabled
+            self._disable("load_stream", exc)
+            return None
 
     def _load_stream(self, key):
         key_bytes = stable_key_bytes(key)
@@ -200,13 +223,24 @@ class PersistentCache:
         Persists complete canonical-keyed streams, canonical-form refuters
         and unfolding-template keys; bumps hit metadata for streams served
         from disk; evicts over the size cap; refreshes ``cache_file_bytes``.
+
+        Total, like :meth:`load_stream`: a failed flush (disk full, file
+        made read-only mid-run) disables the tier and writes nothing --
+        the in-memory results of the run are unaffected.
         """
-        if self.tracer is None:
-            return self._flush(checker)
-        with self.tracer.span("disk_io", name="flush") as span:
-            written = self._flush(checker)
-            span.set(written=sum(written.values()))
-        return written
+        empty = {KIND_STREAM: 0, KIND_REFUTER: 0, KIND_UNFOLD: 0}
+        if self._disabled:
+            return empty
+        try:
+            if self.tracer is None:
+                return self._flush(checker)
+            with self.tracer.span("disk_io", name="flush") as span:
+                written = self._flush(checker)
+                span.set(written=sum(written.values()))
+            return written
+        except Exception as exc:  # noqa: BLE001 -- absorbed, tier disabled
+            self._disable("flush", exc)
+            return empty
 
     def _flush(self, checker) -> dict[str, int]:
         written = {KIND_STREAM: 0, KIND_REFUTER: 0, KIND_UNFOLD: 0}
@@ -264,10 +298,25 @@ class PersistentCache:
 
     # ----------------------------------------------------------- counters --
 
+    def _disable(self, operation: str, exc: BaseException) -> None:
+        """Per-operation degradation: warn once, count, go inert."""
+        if not self._disabled:
+            log.warning(
+                "persistent cache %s: %s failed (%s: %s); disabling the disk "
+                "tier for the rest of the run",
+                self.store.path,
+                operation,
+                type(exc).__name__,
+                exc,
+            )
+        self._disabled = True
+        self._tier_errors += 1
+
     @property
     def disk_load_errors(self) -> int:
-        """Failures absorbed so far (store failures plus undecodable rows)."""
-        return self.store.load_errors + self._decode_errors
+        """Failures absorbed so far (store failures, undecodable rows, and
+        tier-level operations that had to disable the tier mid-run)."""
+        return self.store.load_errors + self._decode_errors + self._tier_errors
 
     def counters(self) -> dict[str, int]:
         """The tier's contribution to ``cache_stats()``."""

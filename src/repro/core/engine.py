@@ -26,10 +26,22 @@ Design notes
 * Cache accounting: each report carries the checker-memo and
   predicate-unfolding cache counters (:class:`CacheStats`) measured inside
   the worker for exactly that job.
+* Self-healing: the worker pool is supervised through a claim/done
+  protocol (a crash-proof shared-memory claim slot per worker plus a
+  result queue), so a worker death (segfault, OOM kill, an injected
+  ``os._exit``) fails only the job that was actually running on the dead
+  worker.  That job is retried on a respawned worker with seeded
+  exponential backoff (``max_retries``); a job that kills a worker *twice*
+  is quarantined as poison (``error="poisoned"``, never a third respawn);
+  and after ``max_pool_rebuilds`` healing rounds the engine degrades to
+  in-process sequential execution -- warned, counted, and bit-identical,
+  because sequential execution is the reference the pool must reproduce
+  anyway.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
@@ -39,7 +51,16 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.core.sling import SlingConfig
+from repro.faults import (
+    backoff_delays,
+    enable_lethal_faults,
+    injection_count,
+    maybe_inject,
+    set_current_attempt,
+)
 from repro.telemetry import monotime
+
+log = logging.getLogger("repro.engine")
 
 #: Job kinds understood by :func:`execute_job`.
 JOB_KINDS = ("spec", "table1", "table2")
@@ -47,6 +68,44 @@ JOB_KINDS = ("spec", "table1", "table2")
 
 class EngineError(RuntimeError):
     """A batch run failed in a way the caller did not ask to tolerate."""
+
+
+class TransientFault(EngineError):
+    """A failure worth retrying: worker loss, injected I/O faults, timeouts
+    (the latter only when the engine was built with ``retry_timeouts``)."""
+
+
+class PermanentFault(EngineError):
+    """A deterministic failure: retrying would reproduce it exactly."""
+
+
+class PoisonedJob(EngineError):
+    """A job that killed two workers; quarantined, never respawned again."""
+
+
+def classify_failure(report: "EngineReport", retry_timeouts: bool = False):
+    """The taxonomy class of a failed report (``None`` for ``ok`` ones).
+
+    Worker-side failures cross the fork boundary as strings, so the
+    classification reads :attr:`EngineReport.error`: worker loss and
+    injected faults tagged ``[transient]`` are :class:`TransientFault`,
+    timeouts are transient only if the caller opted in (a timeout usually
+    reproduces -- the job is simply too slow), quarantined jobs are
+    :class:`PoisonedJob`, everything else -- ordinary exceptions inside the
+    job -- is a :class:`PermanentFault` that a retry would only repeat.
+    """
+    if report.ok or report.error is None:
+        return None
+    error = report.error
+    if error.startswith("poisoned"):
+        return PoisonedJob
+    if error.startswith("worker lost"):
+        return TransientFault
+    if report.timed_out:
+        return TransientFault if retry_timeouts else PermanentFault
+    if "InjectedFault" in error and "[transient]" in error:
+        return TransientFault
+    return PermanentFault
 
 
 @dataclass(frozen=True)
@@ -74,6 +133,10 @@ class EngineJob:
     seed: int = 0
     config: SlingConfig | None = None
     timeout: float | None = None
+    #: Retry attempt (0 = first try).  Set by the engine when it resubmits
+    #: a transiently failed job; fault rules can filter on it, which is how
+    #: a chaos plan expresses "kill the first attempt, spare the retry".
+    attempt: int = 0
 
 
 @dataclass
@@ -141,6 +204,19 @@ class CacheStats:
     disk_evictions: int = 0
     cache_file_bytes: int = 0
     disk_load_errors: int = 0
+    # Resilience counters (see ``docs/resilience.md``): transient-failure
+    # retries consumed, pool workers respawned after a death, jobs
+    # quarantined as poison, pool-healing rounds, jobs that ran in the
+    # degraded sequential fallback, and faults fired by the injector
+    # (:mod:`repro.faults`).  All exactly zero for fault-free runs with
+    # ``SlingConfig.fault_plan`` unset -- the search-guard baselines pin
+    # that, like every prior knob.
+    jobs_retried: int = 0
+    workers_respawned: int = 0
+    jobs_poisoned: int = 0
+    pool_rebuilds: int = 0
+    degraded_sequential: int = 0
+    faults_injected: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another job's counters into this one."""
@@ -172,6 +248,12 @@ class CacheStats:
         self.disk_misses += other.disk_misses
         self.disk_evictions += other.disk_evictions
         self.disk_load_errors += other.disk_load_errors
+        self.jobs_retried += other.jobs_retried
+        self.workers_respawned += other.workers_respawned
+        self.jobs_poisoned += other.jobs_poisoned
+        self.pool_rebuilds += other.pool_rebuilds
+        self.degraded_sequential += other.degraded_sequential
+        self.faults_injected += other.faults_injected
         # A size, not a volume: jobs sharing one cache file all report the
         # same file, so the batch-wide value is the largest observed.
         if other.cache_file_bytes > self.cache_file_bytes:
@@ -245,6 +327,12 @@ class CacheStats:
             "disk_evictions": self.disk_evictions,
             "cache_file_bytes": self.cache_file_bytes,
             "disk_load_errors": self.disk_load_errors,
+            "jobs_retried": self.jobs_retried,
+            "workers_respawned": self.workers_respawned,
+            "jobs_poisoned": self.jobs_poisoned,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_sequential": self.degraded_sequential,
+            "faults_injected": self.faults_injected,
         }
 
 
@@ -323,18 +411,29 @@ def execute_job(job: EngineJob) -> EngineReport:
 
 def _execute_job(job: EngineJob) -> EngineReport:
     start = monotime()
+    plan = job.config.fault_plan if job.config is not None else None
+    if plan is not None:
+        set_current_attempt(job.attempt)
+        faults_before = injection_count(plan)
     try:
-        return _execute_with_timer(job, start)
+        report = _execute_with_timer(job, start)
     except _JobTimeout:
         # The alarm can also fire in the narrow window after _dispatch
         # returns (or while a failure report is being built) but before the
         # timer is cleared; catch it here so workers never raise.
-        return EngineReport(
+        report = EngineReport(
             job=job,
             ok=False,
             error=f"timeout after {job.timeout:.3g}s",
             seconds=monotime() - start,
         )
+    if plan is not None:
+        # Faults fired while this job executed (injections that killed the
+        # worker outright are necessarily lost with it; they surface in the
+        # parent's workers_respawned instead).
+        report.cache.faults_injected += injection_count(plan) - faults_before
+        set_current_attempt(None)
+    return report
 
 
 def _execute_with_timer(job: EngineJob, start: float) -> EngineReport:
@@ -348,6 +447,15 @@ def _execute_with_timer(job: EngineJob, start: float) -> EngineReport:
         if use_timer:
             previous_handler = signal.signal(signal.SIGALRM, _raise_job_timeout)
             signal.setitimer(signal.ITIMER_REAL, job.timeout)
+        if job.config is not None and job.config.fault_plan is not None:
+            # Under the timer, so an injected hang is resolved by the job's
+            # own timeout exactly like a real stuck job would be.
+            maybe_inject(
+                job.config.fault_plan,
+                "job_exec",
+                qualifier=job.benchmark,
+                attempt=job.attempt,
+            )
         payload, cache = _dispatch(job)
     except _JobTimeout:
         return EngineReport(
@@ -457,6 +565,23 @@ class InferenceEngine:
         interned (e.g. by a preceding sequential sweep) are inherited by
         every worker instead of being re-derived per job.  Only observable
         as fork-time state; results are identical either way.
+    max_retries:
+        Retry budget per job for *transient* failures (worker loss,
+        injected I/O faults, and -- with ``retry_timeouts`` -- timeouts),
+        with seeded exponential backoff + jitter between attempts (see
+        :func:`repro.faults.backoff_delays`).  Permanent failures
+        (ordinary exceptions inside the job) are never retried: they would
+        reproduce deterministically.
+    retry_timeouts:
+        Treat job timeouts as transient (off by default: a timeout usually
+        means the job is simply too slow, and retrying doubles the cost of
+        finding that out).
+    max_pool_rebuilds:
+        Healing rounds tolerated before the engine gives up on pools
+        entirely and runs the remaining jobs inline, sequentially, in the
+        parent process -- warned, counted per job (``degraded_sequential``)
+        and bit-identical, since sequential execution is the reference the
+        pool must reproduce anyway.
     """
 
     def __init__(
@@ -464,12 +589,24 @@ class InferenceEngine:
         jobs: int = 1,
         job_timeout: float | None = None,
         warm_pool: bool = True,
+        max_retries: int = 2,
+        retry_timeouts: bool = False,
+        max_pool_rebuilds: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ):
         if jobs < 1:
             raise EngineError(f"engine needs at least one worker, got jobs={jobs}")
+        if max_retries < 0:
+            raise EngineError(f"max_retries must be >= 0, got {max_retries}")
         self.jobs = jobs
         self.job_timeout = job_timeout
         self.warm_pool = warm_pool
+        self.max_retries = max_retries
+        self.retry_timeouts = retry_timeouts
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
 
     def run(self, batch: Sequence[EngineJob]) -> list[EngineReport]:
         """Execute a batch and return one report per job, in job order."""
@@ -484,8 +621,28 @@ class InferenceEngine:
         if not batch:
             return []
         if self.jobs == 1 or len(batch) == 1:
-            return [execute_job(job) for job in batch]
+            return [self._execute_inline(job) for job in batch]
         return self._run_pool(batch)
+
+    def _execute_inline(self, job: EngineJob) -> EngineReport:
+        """Run one job in this process, with the same retry policy as the pool.
+
+        ``exit`` fault actions are downgraded to raises outside pool
+        workers (see :mod:`repro.faults`), so inline execution retries them
+        like any other transient fault instead of dying.
+        """
+        report, used = _execute_with_retries(
+            job,
+            max_retries=self.max_retries,
+            retry_timeouts=self.retry_timeouts,
+            backoff_seed=_backoff_seed(job),
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+        )
+        if used:
+            report.cache.jobs_retried += used
+            _mirror_heal_counters(report)
+        return report
 
     def run_named(
         self,
@@ -507,8 +664,6 @@ class InferenceEngine:
     def _run_pool(self, batch: list[EngineJob]) -> list[EngineReport]:
         # Load the registry in the parent so forked workers inherit it and
         # do not re-import the benchmark modules once per process.
-        from concurrent.futures import ProcessPoolExecutor
-
         from repro.benchsuite.registry import load_all
 
         load_all()
@@ -532,28 +687,11 @@ class InferenceEngine:
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
-        # Workers enforce their own (per-job) timeouts via SIGALRM, so the
-        # parent simply collects results in submission order.  A worker that
-        # dies without returning (segfault, OOM kill) breaks the executor,
-        # which surfaces here as an exception per lost future -- converted
-        # to a failed report rather than hanging or crashing the sweep.
-        reports: list[EngineReport] = []
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(batch)), mp_context=context
-        ) as pool:
-            futures = [pool.submit(execute_job, job) for job in batch]
-            for job, future in zip(batch, futures):
-                try:
-                    reports.append(future.result())
-                except Exception as exc:  # noqa: BLE001 -- BrokenProcessPool et al.
-                    reports.append(
-                        EngineReport(
-                            job=job,
-                            ok=False,
-                            error=f"worker lost: {type(exc).__name__}: {exc}",
-                            seconds=0.0,
-                        )
-                    )
+        supervisor = _PoolSupervisor(self, context, batch)
+        try:
+            reports = supervisor.run()
+        finally:
+            supervisor.shutdown()
         # Fold the workers' per-pid trace segments back into the main trace
         # file, re-parenting their job spans under the caller's open span.
         merged_telemetries: list[int] = []
@@ -563,6 +701,522 @@ class InferenceEngine:
                 merged_telemetries.append(id(telemetry))
                 telemetry.merge_segments()
         return reports
+
+
+# ---------------------------------------------------------------------------
+# Self-healing pool
+# ---------------------------------------------------------------------------
+
+#: Parent-side healing counters stamped onto the guilty job's report (and
+#: mirrored onto payloads that carry matching fields, e.g. the Table 1
+#: ``ProgramResult``).  ``faults_injected`` is worker-side and mirrored too.
+_HEAL_FIELDS = (
+    "jobs_retried",
+    "workers_respawned",
+    "jobs_poisoned",
+    "pool_rebuilds",
+    "degraded_sequential",
+)
+
+
+def _mirror_heal_counters(report: EngineReport) -> None:
+    """Copy resilience counters from ``report.cache`` onto its payload.
+
+    Table 1 payloads fill their counter fields from the worker-side
+    ``Sling`` snapshot, which cannot know about parent-side healing; this
+    post-hoc copy is what makes retries and respawns visible in the table
+    JSON and ``cache_totals()``.
+    """
+    payload = report.payload
+    if payload is None:
+        return
+    for field_name in (*_HEAL_FIELDS, "faults_injected"):
+        if hasattr(payload, field_name):
+            setattr(payload, field_name, getattr(report.cache, field_name))
+
+
+def _backoff_seed(job: EngineJob) -> int:
+    plan = job.config.fault_plan if job.config is not None else None
+    return plan.seed if plan is not None else 0
+
+
+def _execute_with_retries(
+    job: EngineJob,
+    max_retries: int,
+    retry_timeouts: bool,
+    backoff_seed: int,
+    backoff_base: float,
+    backoff_cap: float,
+    already_retried: int = 0,
+    on_retry: Callable[[int], None] | None = None,
+) -> tuple[EngineReport, int]:
+    """Run a job in this process, retrying transient failures with backoff.
+
+    Returns ``(report, retries_used_here)``.  ``already_retried`` carries
+    retry budget a pool already consumed on this job before degrading.
+    """
+    import time
+
+    retries = already_retried
+    while True:
+        report = execute_job(replace(job, attempt=retries) if retries else job)
+        if report.ok:
+            break
+        if classify_failure(report, retry_timeouts) is not TransientFault:
+            break
+        if retries >= max_retries:
+            break
+        delays = backoff_delays(
+            backoff_seed, job.benchmark, max_retries, backoff_base, backoff_cap
+        )
+        time.sleep(delays[retries])
+        retries += 1
+        if on_retry is not None:
+            on_retry(retries)
+    return report, retries - already_retried
+
+
+def _pool_worker_main(task_queue, result_queue, plan, claim) -> None:
+    """Entry point of one pool worker: claim, execute, report, repeat.
+
+    ``claim`` is a shared-memory int slot, the worker's half of the
+    start/done protocol the supervisor heals from: the worker writes the
+    job index into it *before* executing and clears it (back to -1) after
+    the report is on the result queue.  The write is a plain synchronous
+    store -- unlike a queue message, whose feeder thread an ``os._exit``
+    (or a segfault) can outrun -- so a worker that dies mid-job always
+    leaves its claim behind and is blamed for exactly that job.
+    """
+    # Only pool workers may actually die from an ``exit`` fault -- the same
+    # plan running inline (or in the degraded sequential fallback) must
+    # never kill the parent process.
+    enable_lethal_faults(True)
+    pid = os.getpid()
+    if plan is not None:
+        # Fresh matching state regardless of what the forked parent did:
+        # per-worker rule counters are what make respawn-and-retry
+        # scenarios ("kill the first attempt only") deterministic.
+        from repro.faults.plan import reset_injector
+
+        reset_injector(plan)
+        maybe_inject(plan, "worker_start", qualifier=str(pid))
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, job = item
+        claim.value = index
+        report = execute_job(job)
+        result_queue.put(("done", index, report, pid))
+        # Cleared only after the put returned: dying while the done message
+        # is still in the queue's feeder buffer then still reads as a death
+        # *on this job*, which retries it -- a lost result never strands it.
+        claim.value = -1
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side bookkeeping for one submitted job."""
+
+    job: EngineJob
+    retries: int = 0
+    worker_deaths: int = 0
+    heal: dict = field(default_factory=lambda: dict.fromkeys(_HEAL_FIELDS, 0))
+
+
+class _PoolSupervisor:
+    """Owns the worker pool of one batch and heals it (see the engine docs).
+
+    The protocol: jobs go into a shared task queue; each worker claims the
+    job it is about to run by writing its index into a shared-memory slot
+    (crash-proof: a queue message can die with the sender's feeder thread,
+    a memory store cannot) and returns it with ``("done", index, report,
+    pid)``.  The supervisor polls the result queue, reaps dead workers
+    between messages, and on a death blames exactly the job the dead
+    worker's claim slot still names -- retrying it (with backoff, on a
+    respawned worker) or quarantining it after its second kill.  Repeated
+    breakage degrades to inline sequential execution of whatever is left.
+    """
+
+    #: Result-queue poll interval; also the worker-death detection latency.
+    POLL_SECONDS = 0.05
+    #: Consecutive empty polls with waiting jobs but nothing running before
+    #: the supervisor assumes tasks were lost in a dead worker's hands
+    #: (died between dequeue and ``start`` ack) and resubmits them.  A
+    #: duplicate execution is deterministic and settles only once.
+    STALL_POLLS = 200
+
+    def __init__(self, engine: InferenceEngine, context, batch: list[EngineJob]):
+        self.engine = engine
+        self.context = context
+        self.batch = batch
+        self.worker_count = min(engine.jobs, len(batch))
+        self.plan = next(
+            (
+                job.config.fault_plan
+                for job in batch
+                if job.config is not None and job.config.fault_plan is not None
+            ),
+            None,
+        )
+        telemetry = next(
+            (
+                job.config.telemetry
+                for job in batch
+                if job.config is not None and job.config.telemetry is not None
+            ),
+            None,
+        )
+        self.tracer = telemetry.tracer() if telemetry is not None else None
+        self.states = {index: _JobState(job) for index, job in enumerate(batch)}
+        self.final: dict[int, EngineReport] = {}
+        self.outstanding = set(self.states)
+        self.workers: dict[int, object] = {}  # worker pid -> Process
+        self.claims: dict[int, object] = {}  # worker pid -> shared claim slot
+        self.deferred: list[tuple[float, int]] = []  # (due time, job index)
+        self.pool_rebuilds = 0
+        self.degraded = False
+        self.idle_polls = 0
+        self.task_queue = context.Queue()
+        self.result_queue = context.Queue()
+
+    # -------------------------------------------------------------- driver --
+
+    def run(self) -> list[EngineReport]:
+        for index, job in enumerate(self.batch):
+            self.task_queue.put((index, job))
+        for _ in range(self.worker_count):
+            self._spawn_worker()
+        self._supervise()
+        self._stop_workers()
+        if self.outstanding:
+            self._run_degraded()
+        self._stamp_heal_counters()
+        return [self.final[index] for index in range(len(self.batch))]
+
+    def _supervise(self) -> None:
+        import queue as queue_module
+
+        while self.outstanding and not self.degraded:
+            self._submit_due_retries()
+            try:
+                message = self.result_queue.get(timeout=self.POLL_SECONDS)
+            except queue_module.Empty:
+                self._reap_dead_workers()
+                self._check_stall()
+                continue
+            except (EOFError, OSError) as exc:
+                log.warning(
+                    "engine result queue broke (%s: %s); degrading to "
+                    "in-process sequential execution",
+                    type(exc).__name__,
+                    exc,
+                )
+                self.degraded = True
+                break
+            self.idle_polls = 0
+            self._handle_message(message)
+
+    def shutdown(self) -> None:
+        """Terminate whatever is left; idempotent, safe after errors."""
+        for worker in list(self.workers.values()):
+            if worker.is_alive():
+                worker.terminate()
+            worker.join(timeout=1.0)
+        self.workers.clear()
+        self.claims.clear()
+        for q in (self.task_queue, self.result_queue):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+
+    # ------------------------------------------------------------ messages --
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        if kind == "done":
+            _, index, report, pid = message
+            self._settle(index, report)
+
+    def _running_indices(self) -> set[int]:
+        """Jobs currently claimed by a live worker (from the claim slots)."""
+        return {
+            claim.value for claim in self.claims.values() if claim.value >= 0
+        }
+
+    def _settle(self, index: int, report: EngineReport) -> None:
+        """Accept a completed report, or schedule a retry if it earns one."""
+        if index not in self.outstanding:
+            return  # duplicate (stall resubmission) -- first result won
+        state = self.states[index]
+        if (
+            classify_failure(report, self.engine.retry_timeouts) is TransientFault
+            and state.retries < self.engine.max_retries
+        ):
+            self._schedule_retry(index, report.error or "transient failure")
+            return
+        self.outstanding.discard(index)
+        self.final[index] = report
+
+    # ------------------------------------------------------------- retries --
+
+    def _schedule_retry(self, index: int, reason: str) -> None:
+        state = self.states[index]
+        delays = backoff_delays(
+            _backoff_seed(state.job),
+            state.job.benchmark,
+            self.engine.max_retries,
+            self.engine.backoff_base,
+            self.engine.backoff_cap,
+        )
+        delay = delays[state.retries]
+        state.retries += 1
+        state.heal["jobs_retried"] += 1
+        self._emit_span(
+            "retry",
+            state.job.benchmark,
+            attempt=state.retries,
+            delay=round(delay, 4),
+            reason=reason[:200],
+        )
+        # Not a sleep: the due time is checked each poll, so the supervisor
+        # keeps draining results and reaping deaths while backing off.
+        self.deferred.append((monotime() + delay, index))
+
+    def _submit_due_retries(self) -> None:
+        if not self.deferred:
+            return
+        now = monotime()
+        due = sorted(index for when, index in self.deferred if when <= now)
+        if not due:
+            return
+        self.deferred = [(when, index) for when, index in self.deferred if when > now]
+        for index in due:
+            state = self.states[index]
+            self.task_queue.put((index, replace(state.job, attempt=state.retries)))
+
+    # ------------------------------------------------------------- healing --
+
+    def _reap_dead_workers(self) -> None:
+        dead = [worker for worker in self.workers.values() if not worker.is_alive()]
+        if not dead:
+            return
+        # A worker can die *after* sending its done message; consume every
+        # buffered message before assigning blame.
+        self._drain_nonblocking()
+        guilty: list[tuple[int, object]] = []
+        for worker in dead:
+            del self.workers[worker.pid]
+            claim = self.claims.pop(worker.pid)
+            worker.join(timeout=1.0)
+            index = claim.value
+            if index >= 0 and index in self.outstanding:
+                guilty.append((index, worker))
+        self._heal(dead, guilty)
+
+    def _drain_nonblocking(self) -> None:
+        import queue as queue_module
+
+        while True:
+            try:
+                message = self.result_queue.get_nowait()
+            except (queue_module.Empty, EOFError, OSError):
+                return
+            self._handle_message(message)
+
+    def _heal(self, dead: list, guilty: list[tuple[int, object]]) -> None:
+        """One healing round: settle the guilty jobs, respawn or degrade."""
+        self.pool_rebuilds += 1
+        blame = guilty[0][0] if guilty else (min(self.outstanding) if self.outstanding else None)
+        if blame is not None:
+            self.states[blame].heal["pool_rebuilds"] += 1
+        for index, worker in guilty:
+            state = self.states[index]
+            state.worker_deaths += 1
+            if state.worker_deaths >= 2:
+                # Quarantine: this job has now killed two workers; a third
+                # respawn would only feed it another one.
+                state.heal["jobs_poisoned"] += 1
+                self.outstanding.discard(index)
+                self.final[index] = EngineReport(
+                    job=state.job,
+                    ok=False,
+                    error=(
+                        f"poisoned: killed {state.worker_deaths} workers "
+                        f"(last exitcode {worker.exitcode}); quarantined"
+                    ),
+                    seconds=0.0,
+                )
+                self._emit_span(
+                    "pool_heal",
+                    state.job.benchmark,
+                    event="quarantine",
+                    deaths=state.worker_deaths,
+                )
+            elif state.retries < self.engine.max_retries:
+                self._schedule_retry(
+                    index,
+                    f"worker lost (pid {worker.pid}, exitcode {worker.exitcode})",
+                )
+            else:
+                self.outstanding.discard(index)
+                self.final[index] = EngineReport(
+                    job=state.job,
+                    ok=False,
+                    error=(
+                        f"worker lost: process exited with code "
+                        f"{worker.exitcode} (retry budget exhausted)"
+                    ),
+                    seconds=0.0,
+                )
+        if not self.outstanding:
+            return
+        if self.pool_rebuilds > self.engine.max_pool_rebuilds:
+            log.warning(
+                "engine pool broke %d times (max %d); degrading to in-process "
+                "sequential execution for %d remaining job(s)",
+                self.pool_rebuilds,
+                self.engine.max_pool_rebuilds,
+                len(self.outstanding),
+            )
+            self.degraded = True
+            return
+        respawned = 0
+        target_size = min(self.worker_count, max(1, len(self.outstanding)))
+        while len(self.workers) < target_size:
+            self._spawn_worker()
+            respawned += 1
+        for count in range(respawned):
+            index = guilty[count % len(guilty)][0] if guilty else blame
+            if index is not None:
+                self.states[index].heal["workers_respawned"] += 1
+        self._emit_span(
+            "pool_heal",
+            f"rebuild-{self.pool_rebuilds}",
+            event="rebuild",
+            dead=len(dead),
+            respawned=respawned,
+        )
+
+    def _check_stall(self) -> None:
+        """Resubmit jobs whose task vanished inside a dying worker.
+
+        The unreachable-by-injection window: a worker that dies after
+        dequeuing a task but before writing its claim slot takes the task
+        with it.  Nothing is running and nothing arrives, so after
+        STALL_POLLS empty polls the waiting jobs are resubmitted
+        (duplicates settle only once, see :meth:`_settle`).
+        """
+        self.idle_polls += 1
+        running = self._running_indices()
+        if self.idle_polls < self.STALL_POLLS or running or self.deferred:
+            return
+        waiting = self.outstanding - running
+        if not waiting:
+            return
+        log.warning(
+            "engine pool stalled (%d job(s) waiting, none running); "
+            "resubmitting them",
+            len(waiting),
+        )
+        for index in sorted(waiting):
+            state = self.states[index]
+            self.task_queue.put((index, replace(state.job, attempt=state.retries)))
+        self.idle_polls = 0
+
+    # ------------------------------------------------------------- workers --
+
+    def _spawn_worker(self) -> None:
+        claim = self.context.Value("i", -1, lock=False)
+        process = self.context.Process(
+            target=_pool_worker_main,
+            args=(self.task_queue, self.result_queue, self.plan, claim),
+            daemon=True,
+        )
+        process.start()
+        self.workers[process.pid] = process
+        self.claims[process.pid] = claim
+
+    def _stop_workers(self) -> None:
+        # Late results beat a redundant inline re-run, so drain once more.
+        self._drain_nonblocking()
+        for _ in range(len(self.workers)):
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):
+                break
+        for worker in self.workers.values():
+            worker.join(timeout=2.0)
+        for worker in self.workers.values():
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+        self.workers.clear()
+        self.claims.clear()
+        self._drain_nonblocking()
+
+    # ------------------------------------------------------- degraded mode --
+
+    def _run_degraded(self) -> None:
+        """Finish the remaining jobs inline, sequentially, in this process.
+
+        Lethal fault actions are downgraded outside pool workers, so even
+        the plan that broke the pool cannot kill the parent here; results
+        are bit-identical to a healthy pool run by the engine's determinism
+        guarantee.
+        """
+        for index in sorted(self.outstanding):
+            state = self.states[index]
+            state.heal["degraded_sequential"] += 1
+
+            def count_retry(attempt: int, state=state) -> None:
+                state.heal["jobs_retried"] += 1
+                self._emit_span(
+                    "retry",
+                    state.job.benchmark,
+                    attempt=attempt,
+                    degraded=True,
+                    reason="transient failure in degraded sequential mode",
+                )
+
+            report, _ = _execute_with_retries(
+                state.job,
+                max_retries=self.engine.max_retries,
+                retry_timeouts=self.engine.retry_timeouts,
+                backoff_seed=_backoff_seed(state.job),
+                backoff_base=self.engine.backoff_base,
+                backoff_cap=self.engine.backoff_cap,
+                already_retried=state.retries,
+                on_retry=count_retry,
+            )
+            self.outstanding.discard(index)
+            self.final[index] = report
+
+    # ------------------------------------------------------------ stamping --
+
+    def _stamp_heal_counters(self) -> None:
+        for index, state in self.states.items():
+            if not any(state.heal.values()):
+                continue
+            report = self.final[index]
+            for field_name, value in state.heal.items():
+                setattr(report.cache, field_name, getattr(report.cache, field_name) + value)
+            _mirror_heal_counters(report)
+
+    def _emit_span(self, kind: str, name: str, **attrs) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit_span(
+            kind,
+            name,
+            ts=monotime(),
+            dur=0.0,
+            track="aux",
+            parent=self.tracer.current_id,
+            **attrs,
+        )
 
 
 def run_category_batch(

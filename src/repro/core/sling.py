@@ -41,6 +41,7 @@ from repro.sl.model import StackHeapModel, models_union
 from repro.sl.predicates import PredicateRegistry
 from repro.sl.pretty import pretty
 from repro.sl.spatial import SymHeap, star
+from repro.faults import FaultPlan
 from repro.telemetry import Telemetry, monotime
 
 
@@ -120,6 +121,14 @@ class SlingConfig:
     #: picklable, so a traced configuration crosses the engine's fork
     #: boundary; each worker process then writes its own trace segment.
     telemetry: Telemetry | None = None
+    #: Deterministic fault-injection plan (see :mod:`repro.faults`).
+    #: ``None`` (the default) keeps every injection site a single
+    #: ``is None`` branch away from the untouched code path -- no injector
+    #: is built and the resilience counters stay exactly zero (pinned by
+    #: the search-guard baselines).  The plan is frozen and picklable, so a
+    #: chaos configuration crosses the engine's fork boundary; the mutable
+    #: matching state stays process-local.
+    fault_plan: FaultPlan | None = None
 
     def atom_config(self) -> InferAtomConfig:
         """The Algorithm 2 configuration derived from this one."""
@@ -166,6 +175,10 @@ class Sling:
             columnar_kernels=self.config.columnar_kernels,
         )
         self.checker.tracer = self.tracer
+        #: Fault-injection plan handed to the checker (stream
+        #: materialization site) and the disk tier (sqlite sites); ``None``
+        #: keeps every site on the untouched code path.
+        self.checker.fault_plan = self.config.fault_plan
         #: Disk tier beneath the checker's canonical-keyed caches; ``None``
         #: unless ``config.persistent_cache`` is set (the default keeps
         #: every code path identical to a cache-less run).
@@ -174,7 +187,9 @@ class Sling:
             from repro.cache import PersistentCache
 
             self.persistent_cache = PersistentCache(
-                self.config.persistent_cache, predicates
+                self.config.persistent_cache,
+                predicates,
+                fault_plan=self.config.fault_plan,
             )
             self.persistent_cache.tracer = self.tracer
             # ``attach`` refuses non-canonical checkers; with the Sling

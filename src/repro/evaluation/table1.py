@@ -109,6 +109,15 @@ class ProgramResult:
     disk_evictions: int = 0
     cache_file_bytes: int = 0
     disk_load_errors: int = 0
+    # Resilience counters (all zero for fault-free runs; the parent-side
+    # healing counters are stamped onto this payload by the engine after
+    # the fact -- a worker cannot know it died).  See docs/resilience.md.
+    jobs_retried: int = 0
+    workers_respawned: int = 0
+    jobs_poisoned: int = 0
+    pool_rebuilds: int = 0
+    degraded_sequential: int = 0
+    faults_injected: int = 0
 
     def cache_stats(self) -> CacheStats:
         """This run's counters, repackaged as the engine's struct."""

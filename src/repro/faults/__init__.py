@@ -1,0 +1,40 @@
+"""Deterministic fault injection and chaos scenarios (see ``plan.py``).
+
+Only the plan/injector layer is exported here: the engine imports this
+package at module load, and the chaos runner (:mod:`repro.faults.chaos`)
+imports the engine -- keeping it a submodule import breaks the cycle.
+"""
+
+from repro.faults.plan import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    backoff_delays,
+    enable_lethal_faults,
+    injection_count,
+    injector_for,
+    lethal_faults_enabled,
+    maybe_inject,
+    reset_injector,
+    set_current_attempt,
+)
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "backoff_delays",
+    "enable_lethal_faults",
+    "injection_count",
+    "injector_for",
+    "lethal_faults_enabled",
+    "maybe_inject",
+    "reset_injector",
+    "set_current_attempt",
+]

@@ -1,0 +1,402 @@
+"""Named chaos scenarios and the harness that verifies the resilience contract.
+
+Each :class:`ChaosScenario` packages one fault plan (parameterized by a
+target benchmark), the engine settings it needs, and the scenario-specific
+expectations.  :func:`run_scenario` runs the Table 1 smoke workload twice --
+once fault-free inline as the reference, once under the scenario -- and
+checks:
+
+* the generic contract: every job that reports ``ok`` produced invariants
+  **bit-identical** to the fault-free reference (healing may change *how*
+  a result was computed, never *what* was computed), and the plan provably
+  fired (injections or healing counters are non-zero);
+* the scenario's own expectations (e.g. ``worker_kill``: all jobs ok,
+  ``workers_respawned >= 1``, zero ``worker lost`` reports).
+
+This module is what ``repro chaos`` and ``make chaos-smoke`` drive; the
+scenarios double as the integration fixtures of ``tests/faults/``.
+See ``docs/resilience.md`` for the taxonomy and policies being exercised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.engine import EngineJob, InferenceEngine
+from repro.core.sling import SlingConfig
+from repro.faults.plan import FaultPlan, FaultRule, reset_injector
+
+#: Counters aggregated per job row and summed into the scenario totals.
+COUNTER_FIELDS = (
+    "jobs_retried",
+    "workers_respawned",
+    "jobs_poisoned",
+    "pool_rebuilds",
+    "degraded_sequential",
+    "faults_injected",
+    "disk_load_errors",
+)
+
+#: Default smoke workload: the first two programs of each list category
+#: (same shape as ``make smoke``'s ``table1 --category SLL --limit 2``).
+DEFAULT_CATEGORIES = ("SLL", "DLL")
+DEFAULT_LIMIT = 2
+
+
+@dataclass
+class JobRow:
+    """One benchmark's outcome under a scenario."""
+
+    benchmark: str
+    ok: bool
+    error: str | None
+    identical: bool | None  # vs. the fault-free reference; None if not ok
+    counters: dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "ok": self.ok,
+            "error": self.error,
+            "identical": self.identical,
+            **self.counters,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """The verdict of one :func:`run_scenario` call."""
+
+    scenario: str
+    target: str
+    passed: bool
+    failures: list[str]
+    rows: list[JobRow]
+    totals: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "target": self.target,
+            "passed": self.passed,
+            "failures": self.failures,
+            "totals": self.totals,
+            "jobs": [row.as_dict() for row in self.rows],
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"{self.scenario}: {verdict} (target {self.target})"]
+        for row in self.rows:
+            status = "ok" if row.ok else f"failed: {row.error}"
+            extras = {k: v for k, v in row.counters.items() if v}
+            suffix = f"  {extras}" if extras else ""
+            lines.append(f"  {row.benchmark:24s} {status}{suffix}")
+        for failure in self.failures:
+            lines.append(f"  !! {failure}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault plan plus the contract it must uphold."""
+
+    name: str
+    description: str
+    build_plan: Callable[[str, int], FaultPlan]
+    check: Callable[[ScenarioReport], list[str]]
+    jobs: int = 4
+    max_retries: int = 2
+    retry_timeouts: bool = False
+    job_timeout: float | None = None
+    needs_cache: bool = False
+    #: Whether jobs the scenario leaves failed are tolerated by the generic
+    #: all-ok expectation (the poison scenario *wants* one failed job).
+    expect_failures: bool = False
+
+
+def _expect(report: ScenarioReport, condition: bool, message: str) -> None:
+    if not condition:
+        report.failures.append(message)
+
+
+def _check_worker_kill(report: ScenarioReport) -> list[str]:
+    failures: list[str] = []
+    respawned = report.totals["workers_respawned"]
+    if respawned < 1:
+        failures.append(f"expected workers_respawned >= 1, got {respawned}")
+    lost = [row.benchmark for row in report.rows if row.error and "worker lost" in row.error]
+    if lost:
+        failures.append(f"jobs wrongly reported 'worker lost': {lost}")
+    target_row = next(row for row in report.rows if row.benchmark == report.target)
+    if target_row.counters["jobs_retried"] < 1:
+        failures.append(f"target {report.target} was never retried")
+    return failures
+
+
+def _check_job_hang(report: ScenarioReport) -> list[str]:
+    failures: list[str] = []
+    target_row = next(row for row in report.rows if row.benchmark == report.target)
+    if target_row.counters["jobs_retried"] < 1:
+        failures.append(f"hung target {report.target} was never retried after its timeout")
+    return failures
+
+
+def _check_cache_fault(report: ScenarioReport) -> list[str]:
+    failures: list[str] = []
+    if report.totals["faults_injected"] < 1:
+        failures.append("no cache fault was injected (plan never fired)")
+    if report.totals["disk_load_errors"] < 1:
+        failures.append("injected cache fault was not absorbed into disk_load_errors")
+    return failures
+
+
+def _check_poison(report: ScenarioReport) -> list[str]:
+    failures: list[str] = []
+    target_row = next(row for row in report.rows if row.benchmark == report.target)
+    if target_row.ok:
+        failures.append(f"poison target {report.target} unexpectedly succeeded")
+    elif not (target_row.error or "").startswith("poisoned"):
+        failures.append(f"poison target failed with {target_row.error!r}, expected 'poisoned...'")
+    if report.totals["jobs_poisoned"] != 1:
+        failures.append(f"expected jobs_poisoned == 1, got {report.totals['jobs_poisoned']}")
+    others = [row for row in report.rows if row.benchmark != report.target]
+    not_ok = [row.benchmark for row in others if not row.ok]
+    if not_ok:
+        failures.append(f"non-target jobs failed alongside the poison job: {not_ok}")
+    return failures
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            name="worker_kill",
+            description=(
+                "kill the worker running the target benchmark (first attempt "
+                "only); the pool must heal and retry exactly that job"
+            ),
+            build_plan=lambda target, seed: FaultPlan(
+                rules=(FaultRule("job_exec", "exit", match=target, attempt=0),),
+                seed=seed,
+            ),
+            check=_check_worker_kill,
+        ),
+        ChaosScenario(
+            name="job_hang",
+            description=(
+                "hang the target benchmark past its timeout (first attempt "
+                "only); with retry_timeouts the retry must succeed"
+            ),
+            build_plan=lambda target, seed: FaultPlan(
+                rules=(
+                    FaultRule("job_exec", "hang", match=target, attempt=0, seconds=30.0),
+                ),
+                seed=seed,
+            ),
+            check=_check_job_hang,
+            retry_timeouts=True,
+            job_timeout=5.0,
+        ),
+        ChaosScenario(
+            name="cache_corrupt",
+            description=(
+                "corrupt the persistent cache mid-run (second sqlite read); "
+                "the store must absorb it and the sweep must finish cold"
+            ),
+            build_plan=lambda target, seed: FaultPlan(
+                rules=(FaultRule("cache_read", "corrupt", at=2),),
+                seed=seed,
+            ),
+            check=_check_cache_fault,
+            jobs=1,
+            needs_cache=True,
+        ),
+        ChaosScenario(
+            name="disk_full",
+            description=(
+                "fail a persistent-cache write with a disk-full error; the "
+                "flush must degrade without touching the in-memory results"
+            ),
+            build_plan=lambda target, seed: FaultPlan(
+                rules=(FaultRule("cache_write", "disk_full"),),
+                seed=seed,
+            ),
+            check=_check_cache_fault,
+            jobs=1,
+            needs_cache=True,
+        ),
+        ChaosScenario(
+            name="poison",
+            description=(
+                "kill every worker that runs the target benchmark; after two "
+                "kills the job must be quarantined, never fed a third worker"
+            ),
+            build_plan=lambda target, seed: FaultPlan(
+                rules=(FaultRule("job_exec", "exit", match=target),),
+                seed=seed,
+            ),
+            check=_check_poison,
+            expect_failures=True,
+        ),
+    )
+}
+
+
+def select_workload(
+    categories: Sequence[str] | None = None, limit: int | None = None
+) -> list[str]:
+    """Benchmark names of the smoke workload, in registry order."""
+    from repro.benchsuite.registry import benchmarks_by_category
+
+    categories = tuple(categories) if categories else DEFAULT_CATEGORIES
+    limit = DEFAULT_LIMIT if limit is None else limit
+    names: list[str] = []
+    for category, benchmarks in benchmarks_by_category().items():
+        if category not in categories:
+            continue
+        names.extend(benchmark.name for benchmark in benchmarks[:limit])
+    if not names:
+        raise ValueError(f"no benchmarks selected for categories {categories!r}")
+    return names
+
+
+def invariant_fingerprint(specification) -> str:
+    """A stable digest of a specification's invariants (order-independent
+    within a location, location-ordered overall) for bit-identity checks."""
+    if specification is None:
+        return "no-spec"
+    rendered = sorted(
+        (inv.location, inv.pretty(), inv.spurious)
+        for inv in specification.all_invariants()
+    )
+    payload = json.dumps(rendered, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _payload_fingerprint(report) -> str:
+    return invariant_fingerprint(getattr(report.payload, "specification", None))
+
+
+def _run_sweep(benchmarks, config, seed, jobs, **engine_kwargs):
+    engine = InferenceEngine(jobs=jobs, **engine_kwargs)
+    return engine.run(
+        [
+            EngineJob(kind="table1", benchmark=name, seed=seed, config=config)
+            for name in benchmarks
+        ]
+    )
+
+
+def run_scenario(
+    name: str,
+    categories: Sequence[str] | None = None,
+    limit: int | None = None,
+    jobs: int | None = None,
+    seed: int = 0,
+    telemetry=None,
+) -> ScenarioReport:
+    """Run one named scenario over the smoke workload; returns its verdict.
+
+    The fault plan targets the *second* benchmark of the workload (so the
+    healing machinery also has unaffected jobs to keep intact), and the
+    fault-free inline reference sweep supplies the invariants every ok job
+    must reproduce bit-identically.
+    """
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ValueError(f"unknown chaos scenario {name!r} (known: {sorted(SCENARIOS)})")
+    benchmarks = select_workload(categories, limit)
+    target = benchmarks[1] if len(benchmarks) > 1 else benchmarks[0]
+    plan = scenario.build_plan(target, seed)
+
+    reference = _run_sweep(benchmarks, SlingConfig(), seed, jobs=1)
+    broken_reference = [r.job.benchmark for r in reference if not r.ok]
+    if broken_reference:
+        raise RuntimeError(
+            f"fault-free reference sweep failed for {broken_reference}; "
+            "fix the workload before injecting faults into it"
+        )
+    expected = {r.job.benchmark: _payload_fingerprint(r) for r in reference}
+
+    # Fresh per-plan matching state: repeated run_scenario calls in one
+    # process (the test suite, `repro chaos --scenario all`) must each see
+    # the plan fire from its first matching hit again.
+    reset_injector(plan)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        cache_file = str(Path(tmp) / "chaos-cache.sqlite") if scenario.needs_cache else None
+        config = SlingConfig(
+            fault_plan=plan, persistent_cache=cache_file, telemetry=telemetry
+        )
+        reports = _run_sweep(
+            benchmarks,
+            config,
+            seed,
+            jobs=scenario.jobs if jobs is None else jobs,
+            max_retries=scenario.max_retries,
+            retry_timeouts=scenario.retry_timeouts,
+            job_timeout=scenario.job_timeout,
+        )
+
+    rows = []
+    for engine_report in reports:
+        counters = {
+            counter: getattr(engine_report.cache, counter, 0)
+            for counter in COUNTER_FIELDS
+        }
+        identical = None
+        if engine_report.ok:
+            identical = (
+                _payload_fingerprint(engine_report) == expected[engine_report.job.benchmark]
+            )
+        rows.append(
+            JobRow(
+                benchmark=engine_report.job.benchmark,
+                ok=engine_report.ok,
+                error=engine_report.error,
+                identical=identical,
+                counters=counters,
+            )
+        )
+    totals = {
+        counter: sum(row.counters[counter] for row in rows) for counter in COUNTER_FIELDS
+    }
+    report = ScenarioReport(
+        scenario=name, target=target, passed=True, failures=[], rows=rows, totals=totals
+    )
+
+    # Generic contract first, then the scenario's own expectations.
+    if not scenario.expect_failures:
+        failed = [row.benchmark for row in rows if not row.ok]
+        _expect(report, not failed, f"jobs failed under {name}: {failed}")
+    divergent = [row.benchmark for row in rows if row.identical is False]
+    _expect(report, not divergent, f"ok jobs diverged from the fault-free reference: {divergent}")
+    fired = totals["faults_injected"] + sum(
+        totals[counter] for counter in ("jobs_retried", "workers_respawned", "jobs_poisoned")
+    )
+    _expect(report, fired > 0, "the fault plan never fired (scenario exercised nothing)")
+    report.failures.extend(scenario.check(report))
+    report.passed = not report.failures
+    return report
+
+
+def run_scenarios(
+    names: Sequence[str] | None = None,
+    categories: Sequence[str] | None = None,
+    limit: int | None = None,
+    jobs: int | None = None,
+    seed: int = 0,
+    telemetry=None,
+) -> list[ScenarioReport]:
+    """Run several scenarios (all of them by default), collecting verdicts."""
+    return [
+        run_scenario(
+            name, categories=categories, limit=limit, jobs=jobs, seed=seed, telemetry=telemetry
+        )
+        for name in (names or sorted(SCENARIOS))
+    ]

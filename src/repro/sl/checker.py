@@ -217,6 +217,9 @@ class ModelChecker:
         #: Optional span tracer (set by the owning :class:`Sling`; ``None``
         #: keeps ``check_all``/``check_batch`` on the untraced fast path).
         self.tracer = None
+        #: Optional fault-injection plan (set by the owning :class:`Sling`;
+        #: ``None`` keeps the stream-materialization site untouched).
+        self.fault_plan = None
         self.columnar_kernels = columnar_kernels
         #: The group decision kernel (``None`` keeps the legacy per-variant
         #: scan).  Imported lazily: :mod:`repro.sl.kernels` imports names
@@ -898,6 +901,14 @@ class ModelChecker:
                 # hit as concrete only skews this statistic, nothing else.
                 self.screen_stats.canonical_stream_hits += 1
             return stream, view
+        if self.fault_plan is not None:
+            # Fault-injection site: a fresh stream is about to be
+            # materialized (disk load or skeleton solve).  An injected
+            # raise propagates out of the checker like any real failure
+            # would -- the engine classifies and retries it.
+            from repro.faults import maybe_inject
+
+            maybe_inject(self.fault_plan, "stream_materialize", qualifier=atom.name)
         if canon is not None and self.persistent is not None:
             # Disk tier, canonical keys only: a persisted stream is a
             # finished enumeration in canonical space, directly readable

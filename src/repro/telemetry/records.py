@@ -46,6 +46,11 @@ SPAN_KINDS = (
     "checker_call",
     "stream_materialize",
     "disk_io",
+    # Resilience events emitted by the engine's pool supervisor (aux track,
+    # zero-duration): a retry scheduled with backoff, and a healing round
+    # (worker respawn, quarantine).  See docs/resilience.md.
+    "retry",
+    "pool_heal",
 )
 
 _SPAN_REQUIRED = ("id", "kind", "ts", "dur", "pid", "track")

@@ -108,6 +108,14 @@ class TestSearchSpaceGuard:
             "disk_evictions",
             "cache_file_bytes",
             "disk_load_errors",
+            # Pinned at zero: the fault-injection subsystem (repro.faults)
+            # must be provably inert for default (fault_plan=None) runs.
+            "jobs_retried",
+            "workers_respawned",
+            "jobs_poisoned",
+            "pool_rebuilds",
+            "degraded_sequential",
+            "faults_injected",
         ):
             assert stats[key] == recorded[key], (
                 f"{name}: {key} changed from {recorded[key]} to {stats[key]} "
@@ -155,6 +163,12 @@ class TestSearchSpaceGuard:
             "disk_evictions",
             "cache_file_bytes",
             "disk_load_errors",
+            "jobs_retried",
+            "workers_respawned",
+            "jobs_poisoned",
+            "pool_rebuilds",
+            "degraded_sequential",
+            "faults_injected",
         ):
             assert key in stats, f"cache_stats() lost the {key!r} counter"
 

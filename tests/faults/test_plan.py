@@ -1,0 +1,132 @@
+"""Unit and property tests for the fault-injection plans themselves.
+
+The contract under test: plans are frozen, hashable and picklable (they
+cross the fork boundary inside job configs); rule matching is a pure
+function of the per-plan hit counters (so injection is deterministic and
+replayable); and the seeded backoff schedule is a pure function of
+``(seed, key, retries)`` -- the property the self-healing engine's retry
+timing inherits its determinism from.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    backoff_delays,
+    injection_count,
+    injector_for,
+    maybe_inject,
+    reset_injector,
+)
+
+
+class TestPlanDataModel:
+    def test_plan_is_frozen_hashable_and_picklable(self):
+        plan = FaultPlan(
+            rules=(FaultRule("job_exec", "raise", match="sll/reverse"),), seed=3
+        )
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        with pytest.raises(AttributeError):
+            plan.seed = 4
+
+    def test_rules_list_is_coerced_to_tuple(self):
+        plan = FaultPlan(rules=[FaultRule("cache_read", "corrupt")])
+        assert isinstance(plan.rules, tuple)
+
+    def test_invalid_site_and_action_are_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("no_such_site", "raise")
+        with pytest.raises(ValueError):
+            FaultRule("job_exec", "no_such_action")
+
+    def test_none_plan_is_inert(self):
+        # The whole subsystem must be a no-op without a plan: this is the
+        # hot-path call every fault site makes on fault-free runs.
+        assert maybe_inject(None, "job_exec", qualifier="anything") is None
+
+
+class TestInjectorDeterminism:
+    def test_rule_fires_at_exact_hit_and_counts(self):
+        plan = FaultPlan(rules=(FaultRule("cache_read", "operational_error", at=3),))
+        reset_injector(plan)
+        import sqlite3
+
+        maybe_inject(plan, "cache_read")
+        maybe_inject(plan, "cache_read")
+        with pytest.raises(sqlite3.OperationalError):
+            maybe_inject(plan, "cache_read")
+        maybe_inject(plan, "cache_read")  # times=1: fired once, now spent
+        assert injection_count(plan) == 1
+
+    def test_match_filters_by_qualifier(self):
+        plan = FaultPlan(rules=(FaultRule("job_exec", "raise", match="dll/"),))
+        reset_injector(plan)
+        maybe_inject(plan, "job_exec", qualifier="sll/reverse")
+        with pytest.raises(InjectedFault):
+            maybe_inject(plan, "job_exec", qualifier="dll/append")
+
+    def test_attempt_filter_spares_the_retry(self):
+        plan = FaultPlan(rules=(FaultRule("job_exec", "raise", attempt=0, times=0),))
+        reset_injector(plan)
+        with pytest.raises(InjectedFault):
+            maybe_inject(plan, "job_exec", attempt=0)
+        assert maybe_inject(plan, "job_exec", attempt=1) is None
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(rules=(FaultRule("stream_materialize", "raise", at=2),))
+
+        def fire_pattern():
+            reset_injector(plan)
+            pattern = []
+            for _ in range(4):
+                try:
+                    maybe_inject(plan, "stream_materialize")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern() == fire_pattern() == [False, True, False, False]
+
+    def test_injectors_are_per_plan(self):
+        plan_a = FaultPlan(rules=(FaultRule("cache_write", "disk_full"),), seed=1)
+        plan_b = FaultPlan(rules=(FaultRule("cache_write", "disk_full"),), seed=2)
+        assert injector_for(plan_a) is not injector_for(plan_b)
+        assert injector_for(plan_a) is injector_for(plan_a)
+
+
+class TestBackoffDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        key=st.text(min_size=1, max_size=30),
+        retries=st.integers(min_value=0, max_value=8),
+    )
+    def test_schedule_is_a_pure_function_of_seed_and_key(self, seed, key, retries):
+        first = backoff_delays(seed, key, retries)
+        second = backoff_delays(seed, key, retries)
+        assert first == second
+        assert len(first) == retries
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        key=st.text(min_size=1, max_size=30),
+    )
+    def test_delays_are_bounded_and_grow_exponentially(self, seed, key):
+        delays = backoff_delays(seed, key, 6, base=0.05, cap=2.0)
+        for attempt, delay in enumerate(delays):
+            # Jitter multiplies the capped exponential step by [0.5, 1.5).
+            step = min(2.0, 0.05 * 2**attempt)
+            assert 0.5 * step <= delay < 1.5 * step
+
+    def test_different_keys_get_different_jitter(self):
+        # Retries of different jobs must not thunder in lockstep.
+        schedules = {tuple(backoff_delays(0, key, 4)) for key in ("a", "b", "c", "d")}
+        assert len(schedules) > 1
