@@ -23,8 +23,10 @@ Invalidation is two-layered:
 
 ``sqlite3`` is part of the CPython standard library; no new dependency is
 introduced.  WAL journaling plus a generous busy timeout make concurrent
-flushes from several engine workers safe (last writer wins per key, which
-is fine: entries are content-addressed by their canonical keys).
+flushes from several writers safe, and :meth:`CacheStore.put_many` merges
+on conflict (payload replaced only by a newer write, hit counts kept,
+recency maxed) so one cache file shared between a serve daemon and
+one-shot CLI runs never loses warmth to whichever flush happened last.
 """
 
 from __future__ import annotations
@@ -141,6 +143,10 @@ class CacheStore:
             conn = sqlite3.connect(self.path, timeout=30.0)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            # Belt and braces with the connect() timeout: the busy handler
+            # also covers statements issued after lock acquisition, which is
+            # what a daemon flush racing a CLI flush actually hits.
+            conn.execute("PRAGMA busy_timeout=30000")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
             )
@@ -269,7 +275,16 @@ class CacheStore:
         items: list[tuple[bytes, bytes]],
         now: float | None = None,
     ) -> int:
-        """Insert (or replace) ``(key, payload)`` rows; returns rows written."""
+        """Upsert ``(key, payload)`` rows; returns rows written.
+
+        Concurrent writers sharing one cache file (a serve daemon flushing
+        next to a one-shot CLI run) merge instead of clobbering: an existing
+        row keeps its hit count, its payload is only replaced when the
+        incoming write is *newer* than the row's recency, and recency/
+        creation stamps take the ``max``.  Entries are content-addressed by
+        canonical keys, so either payload is correct -- upsert-if-newer just
+        stops an older flush from un-warming a row a fresher run wrote.
+        """
         if not items:
             return 0
         conn = self._connect()
@@ -279,9 +294,14 @@ class CacheStore:
         try:
             self._inject("cache_write")
             conn.executemany(
-                "INSERT OR REPLACE INTO entries"
+                "INSERT INTO entries"
                 " (fingerprint, kind, key, payload, hit_count, last_used, created)"
-                " VALUES (?, ?, ?, ?, 0, ?, ?)",
+                " VALUES (?, ?, ?, ?, 0, ?, ?)"
+                " ON CONFLICT (fingerprint, kind, key) DO UPDATE SET"
+                "  payload = CASE WHEN excluded.last_used > last_used"
+                "   THEN excluded.payload ELSE payload END,"
+                "  last_used = max(last_used, excluded.last_used),"
+                "  created = min(created, excluded.created)",
                 [(fingerprint, kind, key, payload, stamp, stamp) for key, payload in items],
             )
             conn.commit()

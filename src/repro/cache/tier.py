@@ -217,12 +217,19 @@ class PersistentCache:
 
     # ------------------------------------------------------------- flush --
 
-    def flush(self, checker) -> dict[str, int]:
+    def flush(self, checker, final: bool = True) -> dict[str, int]:
         """Write everything learned since the last flush; returns row counts.
 
         Persists complete canonical-keyed streams, canonical-form refuters
         and unfolding-template keys; bumps hit metadata for streams served
         from disk; evicts over the size cap; refreshes ``cache_file_bytes``.
+        The ``_known`` bookkeeping makes repeated flushes naturally
+        incremental -- only rows learned since the previous call are
+        written -- so callers (the serve daemon, per-location incremental
+        mode) may flush as often as they like.  Intermediate flushes pass
+        ``final=False`` to skip eviction and the file-size refresh: those
+        are end-of-run accounting, and running eviction mid-inference could
+        drop rows a concurrent sharer just wrote.
 
         Total, like :meth:`load_stream`: a failed flush (disk full, file
         made read-only mid-run) disables the tier and writes nothing --
@@ -233,16 +240,16 @@ class PersistentCache:
             return empty
         try:
             if self.tracer is None:
-                return self._flush(checker)
+                return self._flush(checker, final)
             with self.tracer.span("disk_io", name="flush") as span:
-                written = self._flush(checker)
-                span.set(written=sum(written.values()))
+                written = self._flush(checker, final)
+                span.set(written=sum(written.values()), final=final)
             return written
         except Exception as exc:  # noqa: BLE001 -- absorbed, tier disabled
             self._disable("flush", exc)
             return empty
 
-    def _flush(self, checker) -> dict[str, int]:
+    def _flush(self, checker, final: bool = True) -> dict[str, int]:
         written = {KIND_STREAM: 0, KIND_REFUTER: 0, KIND_UNFOLD: 0}
 
         stream_rows = []
@@ -292,8 +299,9 @@ class PersistentCache:
             )
             self._touched.clear()
 
-        self.disk_evictions += self.store.evict_over_cap()
-        self.cache_file_bytes = self.store.file_bytes()
+        if final:
+            self.disk_evictions += self.store.evict_over_cap()
+            self.cache_file_bytes = self.store.file_bytes()
         return written
 
     # ----------------------------------------------------------- counters --

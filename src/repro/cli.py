@@ -5,7 +5,15 @@ repro``.  Subcommands:
 
 ``infer``
     Run full specification inference on named benchmarks (or whole
-    categories) through the batch engine and print the invariants.
+    categories) through the batch engine and print the invariants.  With
+    ``--connect SOCKET`` the request is served by a running ``repro
+    serve`` daemon instead (NDJSON record stream on stdout), falling back
+    to an in-process run emitting the identical stream when no daemon
+    answers.
+``serve``
+    Run the long-lived inference daemon: NDJSON requests over a Unix
+    socket, bounded admission, per-request deadlines, graceful drain on
+    SIGTERM and crash-safe resume (see ``docs/serving.md``).
 ``table1`` / ``table2``
     Regenerate the paper's evaluation tables, optionally in parallel
     (``--jobs N``) and as JSON (``--json``).
@@ -39,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.engine import EngineError, EngineJob, InferenceEngine, benchmark_engine
@@ -78,7 +87,71 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write an NDJSON span trace of the run (see docs/observability.md)",
     )
+    infer.add_argument(
+        "--connect",
+        default=None,
+        metavar="SOCKET",
+        help=(
+            "submit to a running 'repro serve' daemon on this Unix socket "
+            "and stream its NDJSON records to stdout; falls back to an "
+            "in-process run emitting the identical stream when no daemon "
+            "answers"
+        ),
+    )
+    infer.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --connect: request deadline, seconds from admission",
+    )
+    infer.add_argument(
+        "--request-id",
+        default="infer",
+        metavar="ID",
+        help="with --connect: the request id stamped into every record",
+    )
     infer.set_defaults(handler=_cmd_infer)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived inference daemon (see docs/serving.md)"
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH", help="Unix socket to listen on"
+    )
+    serve.add_argument("--jobs", type=int, default=1, help="engine worker processes")
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="admission queue capacity; overflowing submissions are rejected",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="request journal for crash-safe resume (default: SOCKET.journal)",
+    )
+    serve.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="persistent cache file, flushed incrementally per function",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job timeout applied to every request (deadlines tighten it)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write an NDJSON span trace (request/queue_wait/drain spans)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (invariant inference)")
     add_table1_arguments(table1)
@@ -297,6 +370,10 @@ def _cmd_infer(arguments: argparse.Namespace) -> None:
     if not names:
         raise SystemExit("infer: pass --benchmark NAME and/or --category NAME (or --list)")
 
+    if arguments.connect:
+        _infer_served(arguments, names)
+        return
+
     config = None
     telemetry = None
     if arguments.trace_out:
@@ -344,6 +421,48 @@ def _cmd_infer(arguments: argparse.Namespace) -> None:
         print(f"  validated: {spec.validated}")
     if failures:
         raise SystemExit(f"infer: {failures} benchmark(s) failed")
+
+
+def _infer_served(arguments: argparse.Namespace, names: list[str]) -> None:
+    """``infer --connect``: daemon-served, with an in-process fallback."""
+    from repro.serve.client import ServeUnavailable, run_local, submit
+    from repro.serve.protocol import ServeRequest
+
+    request = ServeRequest(
+        id=arguments.request_id,
+        benchmarks=tuple(names),
+        seed=arguments.seed,
+        deadline=arguments.deadline,
+    )
+    try:
+        terminal = submit(arguments.connect, request, sys.stdout)
+    except ServeUnavailable as reason:
+        print(f"# {reason}; running in-process", file=sys.stderr)
+        terminal = run_local(request, sys.stdout, jobs=arguments.jobs)
+    if terminal["type"] == "rejected":
+        raise SystemExit(f"infer: request rejected: {terminal['reason']}")
+    if terminal["status"] != "complete":
+        raise SystemExit(f"infer: request ended {terminal['status']}")
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> None:
+    from repro.serve.daemon import DEFAULT_QUEUE_LIMIT, ServeDaemon
+
+    telemetry = None
+    if arguments.trace_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(arguments.trace_out)
+    daemon = ServeDaemon(
+        arguments.socket,
+        jobs=arguments.jobs,
+        queue_limit=arguments.queue_limit or DEFAULT_QUEUE_LIMIT,
+        journal_path=arguments.journal,
+        cache_file=arguments.cache_file,
+        request_timeout=arguments.request_timeout,
+        telemetry=telemetry,
+    )
+    sys.exit(daemon.serve())
 
 
 def _spec_report_dict(report) -> dict:
@@ -638,15 +757,16 @@ def _compare_bench_reports(
 
 
 def _cmd_chaos(arguments: argparse.Namespace) -> None:
-    from repro.faults.chaos import SCENARIOS, run_scenarios
+    from repro.faults.chaos import run_scenarios, scenario_catalog
 
+    catalog = scenario_catalog()
     if arguments.list:
-        for name in sorted(SCENARIOS):
-            print(f"{name:16s} {SCENARIOS[name].description}")
+        for name in sorted(catalog):
+            print(f"{name:16s} {catalog[name]}")
         return
 
-    names = arguments.scenario or sorted(SCENARIOS)
-    unknown = [name for name in names if name not in SCENARIOS]
+    names = arguments.scenario or sorted(catalog)
+    unknown = [name for name in names if name not in catalog]
     if unknown:
         raise SystemExit(f"unknown chaos scenario(s): {', '.join(unknown)}")
 
@@ -699,6 +819,14 @@ def main(argv: list[str] | None = None) -> None:
     arguments = parser.parse_args(argv)
     try:
         arguments.handler(arguments)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # The reader went away (e.g. ``repro infer ... | head -1``): exit
+        # cleanly.  Pointing stdout at /dev/null first keeps the
+        # interpreter's shutdown flush from tracebacking on the same pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)
     except EngineError as error:
         raise SystemExit(f"{arguments.command}: {error}")
 

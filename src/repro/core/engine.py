@@ -217,6 +217,19 @@ class CacheStats:
     pool_rebuilds: int = 0
     degraded_sequential: int = 0
     faults_injected: int = 0
+    # Serving-layer counters (:mod:`repro.serve`, see ``docs/serving.md``):
+    # requests admitted by the daemon, the deepest the bounded job queue
+    # ever got, requests rejected by admission control, requests whose
+    # deadline expired with partial results, requests cancelled because
+    # their client vanished, and journaled requests re-run after a daemon
+    # restart.  All exactly zero outside serve mode -- the search-guard
+    # baselines pin that, like every prior subsystem.
+    serve_requests: int = 0
+    serve_queue_high_water: int = 0
+    serve_rejections: int = 0
+    serve_deadline_expiries: int = 0
+    serve_client_disconnects: int = 0
+    serve_requests_resumed: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another job's counters into this one."""
@@ -254,6 +267,15 @@ class CacheStats:
         self.pool_rebuilds += other.pool_rebuilds
         self.degraded_sequential += other.degraded_sequential
         self.faults_injected += other.faults_injected
+        self.serve_requests += other.serve_requests
+        self.serve_rejections += other.serve_rejections
+        self.serve_deadline_expiries += other.serve_deadline_expiries
+        self.serve_client_disconnects += other.serve_client_disconnects
+        self.serve_requests_resumed += other.serve_requests_resumed
+        # A depth, not a volume: the queue high-water mark of a merged batch
+        # is the deepest any contributor observed.
+        if other.serve_queue_high_water > self.serve_queue_high_water:
+            self.serve_queue_high_water = other.serve_queue_high_water
         # A size, not a volume: jobs sharing one cache file all report the
         # same file, so the batch-wide value is the largest observed.
         if other.cache_file_bytes > self.cache_file_bytes:
@@ -333,6 +355,12 @@ class CacheStats:
             "pool_rebuilds": self.pool_rebuilds,
             "degraded_sequential": self.degraded_sequential,
             "faults_injected": self.faults_injected,
+            "serve_requests": self.serve_requests,
+            "serve_queue_high_water": self.serve_queue_high_water,
+            "serve_rejections": self.serve_rejections,
+            "serve_deadline_expiries": self.serve_deadline_expiries,
+            "serve_client_disconnects": self.serve_client_disconnects,
+            "serve_requests_resumed": self.serve_requests_resumed,
         }
 
 
@@ -608,8 +636,30 @@ class InferenceEngine:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
 
-    def run(self, batch: Sequence[EngineJob]) -> list[EngineReport]:
-        """Execute a batch and return one report per job, in job order."""
+    def run(
+        self,
+        batch: Sequence[EngineJob],
+        on_report: Callable[[int, EngineReport], None] | None = None,
+        cancel: Callable[[], str | None] | None = None,
+    ) -> list[EngineReport]:
+        """Execute a batch and return one report per job, in job order.
+
+        ``on_report`` is the incremental-results hook of the serving layer:
+        it is called exactly once per job, with ``(batch index, report)``,
+        the moment that job's report becomes final -- in completion order,
+        which for pool runs is not batch order.  Exceptions it raises are
+        the caller's problem; keep it cheap (hand off to a queue).
+
+        ``cancel`` is polled between inline jobs and on every supervisor
+        poll (~50ms).  The first non-``None`` reason it returns cancels the
+        batch: jobs still waiting settle immediately as ``ok=False`` with
+        ``error="cancelled: <reason>"``, and in-flight pool jobs are killed
+        through the claim-slot machinery (the worker that claimed the job
+        is terminated and the job is *not* retried -- cancellation is
+        deliberate, not a worker fault).  Inline in-flight jobs cannot be
+        interrupted this way; give them a ``timeout`` when the caller needs
+        a hard bound (the serve daemon does exactly that for deadlines).
+        """
         # Bake the engine-wide default timeout into each job so the executing
         # process (inline or pool worker) enforces it locally.
         batch = [
@@ -621,8 +671,20 @@ class InferenceEngine:
         if not batch:
             return []
         if self.jobs == 1 or len(batch) == 1:
-            return [self._execute_inline(job) for job in batch]
-        return self._run_pool(batch)
+            reports = []
+            for index, job in enumerate(batch):
+                reason = cancel() if cancel is not None else None
+                if reason is not None:
+                    report = EngineReport(
+                        job=job, ok=False, error=f"cancelled: {reason}", seconds=0.0
+                    )
+                else:
+                    report = self._execute_inline(job)
+                if on_report is not None:
+                    on_report(index, report)
+                reports.append(report)
+            return reports
+        return self._run_pool(batch, on_report=on_report, cancel=cancel)
 
     def _execute_inline(self, job: EngineJob) -> EngineReport:
         """Run one job in this process, with the same retry policy as the pool.
@@ -661,7 +723,12 @@ class InferenceEngine:
 
     # ------------------------------------------------------------ internals --
 
-    def _run_pool(self, batch: list[EngineJob]) -> list[EngineReport]:
+    def _run_pool(
+        self,
+        batch: list[EngineJob],
+        on_report: Callable[[int, EngineReport], None] | None = None,
+        cancel: Callable[[], str | None] | None = None,
+    ) -> list[EngineReport]:
         # Load the registry in the parent so forked workers inherit it and
         # do not re-import the benchmark modules once per process.
         from repro.benchsuite.registry import load_all
@@ -687,7 +754,7 @@ class InferenceEngine:
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
-        supervisor = _PoolSupervisor(self, context, batch)
+        supervisor = _PoolSupervisor(self, context, batch, on_report=on_report, cancel=cancel)
         try:
             reports = supervisor.run()
         finally:
@@ -846,10 +913,20 @@ class _PoolSupervisor:
     #: duplicate execution is deterministic and settles only once.
     STALL_POLLS = 200
 
-    def __init__(self, engine: InferenceEngine, context, batch: list[EngineJob]):
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        context,
+        batch: list[EngineJob],
+        on_report: Callable[[int, EngineReport], None] | None = None,
+        cancel: Callable[[], str | None] | None = None,
+    ):
         self.engine = engine
         self.context = context
         self.batch = batch
+        self.on_report = on_report
+        self.cancel = cancel
+        self.cancelled = False
         self.worker_count = min(engine.jobs, len(batch))
         self.plan = next(
             (
@@ -898,6 +975,11 @@ class _PoolSupervisor:
         import queue as queue_module
 
         while self.outstanding and not self.degraded:
+            if self.cancel is not None and not self.cancelled:
+                reason = self.cancel()
+                if reason is not None:
+                    self._cancel_remaining(reason)
+                    break
             self._submit_due_retries()
             try:
                 message = self.result_queue.get(timeout=self.POLL_SECONDS)
@@ -957,8 +1039,47 @@ class _PoolSupervisor:
         ):
             self._schedule_retry(index, report.error or "transient failure")
             return
+        self._finalize(index, report)
+
+    def _finalize(self, index: int, report: EngineReport) -> None:
+        """The one place a job's report becomes final (and is streamed out)."""
         self.outstanding.discard(index)
         self.final[index] = report
+        if self.on_report is not None:
+            self.on_report(index, report)
+
+    # -------------------------------------------------------- cancellation --
+
+    def _cancel_remaining(self, reason: str) -> None:
+        """Cancel every unfinished job: kill in-flight workers, settle the rest.
+
+        In-flight jobs are found through the claim slots -- the same
+        crash-proof protocol the healer blames deaths with -- and their
+        workers terminated outright; a cancelled job is settled as
+        ``cancelled: <reason>`` and deliberately never retried (the
+        classifier treats cancellation as permanent).
+        """
+        self.cancelled = True
+        self.deferred.clear()
+        running = self._running_indices()
+        if running:
+            for pid, claim in list(self.claims.items()):
+                if claim.value >= 0:
+                    worker = self.workers.pop(pid, None)
+                    self.claims.pop(pid, None)
+                    if worker is not None:
+                        worker.terminate()
+                        worker.join(timeout=1.0)
+        for index in sorted(self.outstanding):
+            self._finalize(
+                index,
+                EngineReport(
+                    job=self.states[index].job,
+                    ok=False,
+                    error=f"cancelled: {reason}",
+                    seconds=0.0,
+                ),
+            )
 
     # ------------------------------------------------------------- retries --
 
@@ -1039,15 +1160,17 @@ class _PoolSupervisor:
                 # Quarantine: this job has now killed two workers; a third
                 # respawn would only feed it another one.
                 state.heal["jobs_poisoned"] += 1
-                self.outstanding.discard(index)
-                self.final[index] = EngineReport(
-                    job=state.job,
-                    ok=False,
-                    error=(
-                        f"poisoned: killed {state.worker_deaths} workers "
-                        f"(last exitcode {worker.exitcode}); quarantined"
+                self._finalize(
+                    index,
+                    EngineReport(
+                        job=state.job,
+                        ok=False,
+                        error=(
+                            f"poisoned: killed {state.worker_deaths} workers "
+                            f"(last exitcode {worker.exitcode}); quarantined"
+                        ),
+                        seconds=0.0,
                     ),
-                    seconds=0.0,
                 )
                 self._emit_span(
                     "pool_heal",
@@ -1061,15 +1184,17 @@ class _PoolSupervisor:
                     f"worker lost (pid {worker.pid}, exitcode {worker.exitcode})",
                 )
             else:
-                self.outstanding.discard(index)
-                self.final[index] = EngineReport(
-                    job=state.job,
-                    ok=False,
-                    error=(
-                        f"worker lost: process exited with code "
-                        f"{worker.exitcode} (retry budget exhausted)"
+                self._finalize(
+                    index,
+                    EngineReport(
+                        job=state.job,
+                        ok=False,
+                        error=(
+                            f"worker lost: process exited with code "
+                            f"{worker.exitcode} (retry budget exhausted)"
+                        ),
+                        seconds=0.0,
                     ),
-                    seconds=0.0,
                 )
         if not self.outstanding:
             return
@@ -1168,6 +1293,11 @@ class _PoolSupervisor:
         guarantee.
         """
         for index in sorted(self.outstanding):
+            if self.cancel is not None and not self.cancelled:
+                reason = self.cancel()
+                if reason is not None:
+                    self._cancel_remaining(reason)
+                    return
             state = self.states[index]
             state.heal["degraded_sequential"] += 1
 
@@ -1191,8 +1321,7 @@ class _PoolSupervisor:
                 already_retried=state.retries,
                 on_retry=count_retry,
             )
-            self.outstanding.discard(index)
-            self.final[index] = report
+            self._finalize(index, report)
 
     # ------------------------------------------------------------ stamping --
 

@@ -121,6 +121,14 @@ class SlingConfig:
     #: picklable, so a traced configuration crosses the engine's fork
     #: boundary; each worker process then writes its own trace segment.
     telemetry: Telemetry | None = None
+    #: Flush the persistent cache tier after every *location's* inference
+    #: instead of only at the end of a function sweep.  Rows are written
+    #: incrementally (the tier's bookkeeping skips everything already on
+    #: disk), so an interrupted run -- a serve request cancelled by its
+    #: deadline, a daemon killed mid-request -- still banks whatever it
+    #: learned.  Off by default: one-shot runs gain nothing from the extra
+    #: sqlite commits.  Inert without ``persistent_cache``.
+    incremental_flush: bool = False
     #: Deterministic fault-injection plan (see :mod:`repro.faults`).
     #: ``None`` (the default) keeps every injection site a single
     #: ``is None`` branch away from the untouched code path -- no injector
@@ -267,10 +275,20 @@ class Sling:
             )
         return stats
 
-    def flush_persistent(self) -> None:
-        """Write everything the checker learned to the persistent cache tier."""
+    def flush_persistent(self, final: bool = True) -> None:
+        """Write everything the checker learned to the persistent cache tier.
+
+        ``final=False`` marks an intermediate (per-location) flush: rows are
+        written but end-of-run accounting (eviction, file-size refresh) is
+        deferred to the closing ``final=True`` call.
+        """
         if self.persistent_cache is not None:
-            self.persistent_cache.flush(self.checker)
+            self.persistent_cache.flush(self.checker, final=final)
+
+    def _flush_incremental(self) -> None:
+        """Per-location flush, active only under ``config.incremental_flush``."""
+        if self.config.incremental_flush:
+            self.flush_persistent(final=False)
 
     # ------------------------------------------------------------------ tracing --
 
@@ -588,6 +606,7 @@ class Sling:
             free_vars=self._free_vars_for(function_name, "entry"),
         )
         self._mark_freed(specification.preconditions, entry_models)
+        self._flush_incremental()
 
         for return_location in function.return_locations():
             models = traces.models_at(Location(function_name, return_location))
@@ -598,12 +617,14 @@ class Sling:
             )
             self._mark_freed(invariants, models)
             specification.postconditions[return_location] = invariants
+            self._flush_incremental()
 
         for loop_location in function.loop_locations():
             models = traces.models_at(Location(function_name, loop_location))
             invariants = self.infer_from_models(models, location=loop_location)
             self._mark_freed(invariants, models)
             specification.loop_invariants[loop_location] = invariants
+            self._flush_incremental()
 
         specification.validated = self._validate(specification, traces, function_name)
         self.flush_persistent()

@@ -118,6 +118,14 @@ class ProgramResult:
     pool_rebuilds: int = 0
     degraded_sequential: int = 0
     faults_injected: int = 0
+    # Serving-layer counters (all zero outside ``repro serve`` request
+    # handling; see docs/serving.md).
+    serve_requests: int = 0
+    serve_queue_high_water: int = 0
+    serve_rejections: int = 0
+    serve_deadline_expiries: int = 0
+    serve_client_disconnects: int = 0
+    serve_requests_resumed: int = 0
 
     def cache_stats(self) -> CacheStats:
         """This run's counters, repackaged as the engine's struct."""

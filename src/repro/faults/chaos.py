@@ -248,6 +248,21 @@ SCENARIOS: dict[str, ChaosScenario] = {
 }
 
 
+def scenario_catalog() -> dict[str, str]:
+    """Every runnable scenario name -> description, engine and serve alike.
+
+    The serve scenarios live in :mod:`repro.serve.chaos` (imported lazily:
+    the serving layer must stay un-imported for engine-only chaos runs) but
+    dispatch through the same :func:`run_scenario` entry point.
+    """
+    from repro.serve.chaos import SERVE_SCENARIOS
+
+    catalog = {name: SCENARIOS[name].description for name in sorted(SCENARIOS)}
+    for name in sorted(SERVE_SCENARIOS):
+        catalog[name] = SERVE_SCENARIOS[name][0]
+    return catalog
+
+
 def select_workload(
     categories: Sequence[str] | None = None, limit: int | None = None
 ) -> list[str]:
@@ -310,7 +325,13 @@ def run_scenario(
     """
     scenario = SCENARIOS.get(name)
     if scenario is None:
-        raise ValueError(f"unknown chaos scenario {name!r} (known: {sorted(SCENARIOS)})")
+        from repro.serve.chaos import SERVE_SCENARIOS, run_serve_scenario
+
+        if name in SERVE_SCENARIOS:
+            return run_serve_scenario(name, seed=seed, telemetry=telemetry)
+        raise ValueError(
+            f"unknown chaos scenario {name!r} (known: {sorted(scenario_catalog())})"
+        )
     benchmarks = select_workload(categories, limit)
     target = benchmarks[1] if len(benchmarks) > 1 else benchmarks[0]
     plan = scenario.build_plan(target, seed)
@@ -398,5 +419,5 @@ def run_scenarios(
         run_scenario(
             name, categories=categories, limit=limit, jobs=jobs, seed=seed, telemetry=telemetry
         )
-        for name in (names or sorted(SCENARIOS))
+        for name in (names or sorted(scenario_catalog()))
     ]

@@ -23,6 +23,15 @@ Sites (``FAULT_SITES``) are the places the stack consults the injector:
 ``stream_materialize``
     The checker's stream-miss path (``ModelChecker._get_stream``), before a
     skeleton stream is built or loaded from disk.
+``serve_accept`` / ``serve_checkpoint`` / ``serve_client_write``
+    The serving layer (:mod:`repro.serve`): the daemon's accept loop
+    (qualifier: the socket path), the request-journal checkpoint write
+    (qualifier: the journal path) and the per-record client socket write
+    (qualifier: the request id).  Each sits inside the daemon's defensive
+    handling, so an injected failure exercises the real recovery path:
+    a failed accept is logged and the loop continues, a failed checkpoint
+    leaves the uncompacted journal in place, and a failed client write is
+    treated as a client disconnect.
 
 Actions (``FAULT_ACTIONS``):
 
@@ -67,6 +76,9 @@ FAULT_SITES = (
     "cache_read",
     "cache_write",
     "stream_materialize",
+    "serve_accept",
+    "serve_checkpoint",
+    "serve_client_write",
 )
 
 FAULT_ACTIONS = (

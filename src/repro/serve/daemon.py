@@ -1,0 +1,601 @@
+"""The long-lived inference daemon behind ``python -m repro serve``.
+
+One Unix-domain socket, NDJSON in and out (:mod:`repro.serve.protocol`),
+one warm :class:`~repro.core.engine.InferenceEngine` shared by every
+request -- interned canonical forms, compiled predicate screens and the
+persistent cache tier stay hot across requests instead of being rebuilt
+per CLI invocation.  The robustness contract:
+
+* **Bounded admission.**  A fixed-capacity FIFO queue; a submission that
+  would overflow it is rejected immediately with a structured ``rejected``
+  record, never buffered unboundedly.
+* **Deadlines.**  A request's optional ``deadline`` (seconds from
+  admission) is enforced three ways: jobs get the remaining budget as
+  their in-process alarm timeout, the engine's cancel hook is polled
+  between jobs and on every pool poll (in-flight pool jobs are killed
+  through the claim-slot machinery), and the terminal record is marked
+  ``deadline_expired`` with whatever partial results were streamed.
+* **Graceful drain.**  SIGTERM (or SIGINT) stops admission -- new
+  submissions get ``rejected: draining`` -- finishes the in-flight
+  request, checkpoints the still-queued ones (they are already journaled,
+  so a restart re-runs them), flushes and exits 0.
+* **Crash-safe resume.**  Admissions are journaled before they are
+  acknowledged (:mod:`repro.serve.journal`); a restarted daemon re-runs
+  accepted-but-unfinished requests first, appending their record streams
+  to ``<journal>.recovered.ndjson`` -- bit-identical to what the crashed
+  run would have produced, by the engine's determinism guarantee.
+* **Client-disconnect detection.**  A vanished reader (EOF on its
+  connection, or a failed record write) cancels its in-flight request
+  instead of leaking a running sweep.
+
+Threading: the calling thread (the process main thread, under the CLI)
+runs resume and the executor loop -- keeping it the main thread is what
+makes ``SIGALRM`` job timeouts and signal-based drain work -- while one
+background thread accepts connections and one short-lived thread per
+connection reads submissions.  Only admission control and counters are
+shared across threads, both lock-guarded.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.core.engine import CacheStats, EngineJob, InferenceEngine
+from repro.core.sling import SlingConfig
+from repro.serve.journal import RequestJournal
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeRequest,
+    accepted_record,
+    done_record,
+    encode,
+    parse_request,
+    records_for_report,
+    rejected_record,
+)
+from repro.telemetry import monotime
+
+log = logging.getLogger("repro.serve")
+
+#: Default admission-queue capacity (requests, not jobs).
+DEFAULT_QUEUE_LIMIT = 16
+
+#: Journal events between checkpoint compactions.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+#: Accept-loop poll period; bounds both drain latency and socket teardown.
+ACCEPT_POLL_SECONDS = 0.2
+
+
+class AdmissionQueue:
+    """Bounded FIFO with a high-water mark; the admission-control core.
+
+    ``offer`` is atomic accept-or-reject (no blocking producers: backpressure
+    is an immediate structured rejection, not a stalled client), ``pop``
+    blocks the single consumer with a timeout, and ``high_water`` records
+    the deepest the queue ever got (the ``serve_queue_high_water`` counter).
+    FIFO order is the admission contract the hypothesis suite pins: items
+    pop in exactly the order their offers succeeded.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.high_water = 0
+        self.closed = False
+        self._items: deque = deque()
+        self._condition = threading.Condition()
+
+    def offer(self, item) -> bool:
+        """Append atomically; ``False`` when full or closed (rejected)."""
+        with self._condition:
+            if self.closed or len(self._items) >= self.limit:
+                return False
+            self._items.append(item)
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
+            self._condition.notify()
+            return True
+
+    def pop(self, timeout: float):
+        """The oldest item, or ``None`` after ``timeout`` seconds idle."""
+        with self._condition:
+            if not self._items:
+                self._condition.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def close(self) -> list:
+        """Stop admitting and return whatever was still queued."""
+        with self._condition:
+            self.closed = True
+            remaining = list(self._items)
+            self._items.clear()
+            return remaining
+
+    def depth(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+
+class _ClientGone(Exception):
+    """The request's client vanished mid-stream (write failed or EOF)."""
+
+
+class _Connection:
+    """One client connection: a locked record writer over the socket."""
+
+    def __init__(self, conn: socket.socket):
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def write(self, record: dict, fault_plan=None, request_id: str = "") -> None:
+        payload = (encode(record) + "\n").encode("utf-8")
+        with self.lock:
+            if not self.alive:
+                raise _ClientGone
+            try:
+                if fault_plan is not None:
+                    from repro.faults import maybe_inject
+
+                    maybe_inject(fault_plan, "serve_client_write", qualifier=request_id)
+                self.conn.sendall(payload)
+            except Exception as exc:  # noqa: BLE001 -- any failure = client gone
+                self.alive = False
+                raise _ClientGone from exc
+
+    def close(self) -> None:
+        with self.lock:
+            self.alive = False
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class _FileSink:
+    """Record writer used for resumed requests (no client to stream to)."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: dict, fault_plan=None, request_id: str = "") -> None:
+        self._file.write(encode(record) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted request travelling from reader to executor."""
+
+    request: ServeRequest
+    sink: object  # _Connection | _FileSink
+    enqueued_at: float
+    resumed: bool = False
+    #: Set by the reader thread on EOF, or by a failed record write; the
+    #: executor's cancel hook polls it.
+    disconnected: bool = False
+    done: bool = field(default=False)
+
+
+class ServeDaemon:
+    """See the module docstring.  Construct, then call :meth:`serve`."""
+
+    def __init__(
+        self,
+        socket_path,
+        jobs: int = 1,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        journal_path=None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        cache_file=None,
+        request_timeout: float | None = None,
+        telemetry=None,
+        fault_plan=None,
+    ):
+        self.socket_path = os.fspath(socket_path)
+        self.jobs = jobs
+        self.journal_path = (
+            os.fspath(journal_path) if journal_path is not None else self.socket_path + ".journal"
+        )
+        self.recovered_path = self.journal_path + ".recovered.ndjson"
+        self.checkpoint_every = checkpoint_every
+        self.request_timeout = request_timeout
+        self.telemetry = telemetry
+        self.fault_plan = fault_plan
+        self.queue = AdmissionQueue(queue_limit)
+        self.engine = InferenceEngine(jobs=jobs, warm_pool=True)
+        self.config = SlingConfig(
+            discard_crashed_runs=True,
+            persistent_cache=cache_file,
+            incremental_flush=cache_file is not None,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
+        )
+        #: Aggregated counters of everything served (the serve_* fields are
+        #: this daemon's own; the rest accumulate from job reports).
+        self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+        self.journal = RequestJournal(self.journal_path, fault_plan=fault_plan)
+        self.tracer = telemetry.tracer() if telemetry is not None else None
+        self._draining = threading.Event()
+        self._stopping = threading.Event()
+        self._listener: socket.socket | None = None
+        self._connections: list[_Connection] = []
+        self._conn_lock = threading.Lock()
+
+    # ----------------------------------------------------------- lifecycle --
+
+    def serve(self, install_signals: bool = True) -> int:
+        """Resume, accept and execute until drained; returns the exit code.
+
+        Run this on the process main thread when ``install_signals`` is
+        true (SIGTERM/SIGINT drain) or when job timeouts must interrupt
+        in-flight inline jobs (``SIGALRM``).  Tests and the chaos harness
+        run it on a background thread with ``install_signals=False`` and
+        drain via :meth:`stop`.
+        """
+        previous_handlers = {}
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers[signum] = signal.signal(
+                    signum, lambda *_: self._draining.set()
+                )
+        try:
+            self._resume_journaled()
+            self._listen()
+            accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-serve-accept", daemon=True
+            )
+            accept_thread.start()
+            log.info("serving on %s (queue limit %d)", self.socket_path, self.queue.limit)
+            self._executor_loop()
+            self._drain()
+            accept_thread.join(timeout=2 * ACCEPT_POLL_SECONDS)
+            return 0
+        finally:
+            self._teardown()
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+
+    def stop(self) -> None:
+        """Programmatic SIGTERM equivalent (thread-hosted daemons)."""
+        self._draining.set()
+
+    def _listen(self) -> None:
+        if os.path.exists(self.socket_path):
+            # A previous daemon's socket file: refuse if it answers, else
+            # it is stale (crash leftovers) and safe to replace.
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(self.socket_path)
+            except OSError:
+                os.unlink(self.socket_path)
+            else:
+                probe.close()
+                raise RuntimeError(f"socket {self.socket_path} already has a live daemon")
+            finally:
+                probe.close()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen()
+        listener.settimeout(ACCEPT_POLL_SECONDS)
+        self._listener = listener
+
+    def _teardown(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self.journal.close()
+        if self.telemetry is not None:
+            self.telemetry.merge_segments()
+            self.telemetry.close()
+
+    # -------------------------------------------------------------- resume --
+
+    def _resume_journaled(self) -> None:
+        """Re-run accepted-but-unfinished requests from a previous life."""
+        pending = self.journal.unfinished()
+        if not pending:
+            return
+        log.info(
+            "resuming %d journaled request(s) into %s",
+            len(pending),
+            self.recovered_path,
+        )
+        sink = _FileSink(self.recovered_path)
+        try:
+            for request in pending:
+                with self._stats_lock:
+                    self.stats.serve_requests_resumed += 1
+                self._run_request(
+                    _PendingRequest(
+                        request=request,
+                        sink=sink,
+                        enqueued_at=monotime(),
+                        resumed=True,
+                    )
+                )
+        finally:
+            sink.close()
+
+    # ------------------------------------------------------------ admission --
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                if self.fault_plan is not None:
+                    from repro.faults import maybe_inject
+
+                    maybe_inject(
+                        self.fault_plan, "serve_accept", qualifier=self.socket_path
+                    )
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                if self._stopping.is_set():
+                    return
+                continue
+            except Exception as exc:  # noqa: BLE001 -- injected accept fault
+                log.warning("accept failed (%s: %s); continuing", type(exc).__name__, exc)
+                continue
+            connection = _Connection(conn)
+            with self._conn_lock:
+                self._connections.append(connection)
+            threading.Thread(
+                target=self._reader_loop,
+                args=(connection,),
+                name="repro-serve-reader",
+                daemon=True,
+            ).start()
+
+    def _reader_loop(self, connection: _Connection) -> None:
+        """Read submissions off one connection until its client hangs up."""
+        submitted: list[_PendingRequest] = []
+        try:
+            reader = connection.conn.makefile("r", encoding="utf-8")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                pending = self._admit(connection, line)
+                if pending is not None:
+                    submitted.append(pending)
+        except (OSError, ValueError):
+            pass
+        finally:
+            # EOF (or a broken read): the client is gone.  Whatever it
+            # submitted and has not finished is cancelled, not leaked.
+            for pending in submitted:
+                if not pending.done:
+                    pending.disconnected = True
+            connection.close()
+            with self._conn_lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    def _admit(self, connection: _Connection, line: str) -> _PendingRequest | None:
+        """Parse + admission-control one submission; returns it if accepted."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self._safe_write(connection, rejected_record(None, f"bad request: {exc}"))
+            with self._stats_lock:
+                self.stats.serve_rejections += 1
+            return None
+        if self._draining.is_set():
+            self._safe_write(connection, rejected_record(request.id, "draining"))
+            with self._stats_lock:
+                self.stats.serve_rejections += 1
+            return None
+        pending = _PendingRequest(
+            request=request, sink=connection, enqueued_at=monotime()
+        )
+        if not self.queue.offer(pending):
+            self._safe_write(connection, rejected_record(request.id, "queue full"))
+            with self._stats_lock:
+                self.stats.serve_rejections += 1
+            return None
+        # Journal *before* acknowledging: once the client has seen
+        # 'accepted', a crash must not be able to lose the request.
+        self.journal.record_accepted(request)
+        with self._stats_lock:
+            self.stats.serve_requests += 1
+            if self.queue.high_water > self.stats.serve_queue_high_water:
+                self.stats.serve_queue_high_water = self.queue.high_water
+        self._safe_write(connection, accepted_record(request.id))
+        return pending
+
+    @staticmethod
+    def _safe_write(sink, record: dict) -> bool:
+        try:
+            sink.write(record)
+            return True
+        except _ClientGone:
+            return False
+
+    # ------------------------------------------------------------- executor --
+
+    def _executor_loop(self) -> None:
+        while True:
+            pending = self.queue.pop(ACCEPT_POLL_SECONDS)
+            if self._draining.is_set():
+                # A popped-but-unserved request stays journaled as accepted,
+                # so the restarted daemon re-runs it (checkpointed, not lost).
+                return
+            if pending is None:
+                continue
+            self._run_request(pending)
+            if self.journal.events_since_checkpoint >= self.checkpoint_every:
+                self.journal.checkpoint()
+
+    def _run_request(self, pending: _PendingRequest) -> None:
+        request = pending.request
+        started = monotime()
+        if self.tracer is not None:
+            self.tracer.emit_span(
+                "queue_wait",
+                request.id,
+                ts=pending.enqueued_at,
+                dur=started - pending.enqueued_at,
+                track="aux",
+                parent=self.tracer.current_id,
+            )
+        span = (
+            self.tracer.span(
+                "request",
+                name=request.id,
+                benchmarks=len(request.benchmarks),
+                resumed=pending.resumed,
+            )
+            if self.tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            status, reports = self._execute(pending, started)
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        with self._stats_lock:
+            for report in reports:
+                self.stats.merge(report.cache)
+            if status == "deadline_expired":
+                self.stats.serve_deadline_expiries += 1
+            elif status == "cancelled":
+                self.stats.serve_client_disconnects += 1
+            counters = {
+                key: value
+                for key, value in self.stats.as_dict().items()
+                if key.startswith("serve_")
+            }
+        self._safe_write(
+            pending.sink,
+            done_record(
+                request.id,
+                status,
+                jobs=len(reports),
+                counters=counters,
+                seconds=monotime() - started,
+            ),
+        )
+        pending.done = True
+        self.journal.record_done(request.id)
+
+    def _execute(self, pending: _PendingRequest, started: float):
+        """Run one request's jobs, streaming records; returns (status, reports)."""
+        request = pending.request
+        deadline_at = (
+            pending.enqueued_at + request.deadline if request.deadline is not None else None
+        )
+        timeout = self.request_timeout
+        if deadline_at is not None:
+            remaining = deadline_at - started
+            if remaining <= 0:
+                # Expired while queued: nothing runs, every job is reported.
+                for name in request.benchmarks:
+                    self._stream_record(
+                        pending,
+                        {
+                            "type": "job",
+                            "id": request.id,
+                            "benchmark": name,
+                            "ok": False,
+                            "error": "cancelled: deadline",
+                        },
+                    )
+                return "deadline_expired", []
+            timeout = remaining if timeout is None else min(timeout, remaining)
+
+        def cancel() -> str | None:
+            if pending.disconnected:
+                return "client disconnected"
+            if deadline_at is not None and monotime() > deadline_at:
+                return "deadline"
+            return None
+
+        def on_report(index: int, report) -> None:
+            for record in records_for_report(request.id, report):
+                self._stream_record(pending, record, request_id=request.id)
+
+        jobs = [
+            EngineJob(
+                kind="spec",
+                benchmark=name,
+                seed=request.seed,
+                config=self.config,
+                timeout=timeout,
+            )
+            for name in request.benchmarks
+        ]
+        reports = self.engine.run(jobs, on_report=on_report, cancel=cancel)
+
+        errors = [report.error or "" for report in reports if not report.ok]
+        if pending.disconnected or any(
+            error.startswith("cancelled: client disconnected") for error in errors
+        ):
+            return "cancelled", reports
+        if deadline_at is not None and (
+            monotime() > deadline_at
+            or any(error.startswith("cancelled: deadline") for error in errors)
+            or any(report.timed_out for report in reports)
+        ):
+            return "deadline_expired", reports
+        return "complete", reports
+
+    def _stream_record(self, pending: _PendingRequest, record: dict, request_id: str = "") -> None:
+        """Write one response record; a failed write cancels the request."""
+        try:
+            pending.sink.write(record, fault_plan=self.fault_plan, request_id=request_id)
+        except _ClientGone:
+            pending.disconnected = True
+
+    # ---------------------------------------------------------------- drain --
+
+    def _drain(self) -> None:
+        """Stop admitting, checkpoint the backlog, flush -- then exit 0."""
+        drain_started = monotime()
+        remaining = self.queue.close()
+        # Already journaled as accepted; the checkpoint compacts them into
+        # the journal a restarted daemon resumes from.
+        self.journal.checkpoint()
+        log.info(
+            "drained: %d queued request(s) checkpointed for resume", len(remaining)
+        )
+        if self.tracer is not None:
+            self.tracer.emit_span(
+                "drain",
+                self.socket_path,
+                ts=drain_started,
+                dur=monotime() - drain_started,
+                track="aux",
+                parent=self.tracer.current_id,
+                checkpointed=len(remaining),
+            )

@@ -1,0 +1,157 @@
+"""Crash-safe journal of accepted-but-unfinished requests.
+
+The daemon appends one NDJSON event per lifecycle transition -- ``accepted``
+when a request passes admission control (before the client is told), and
+``done`` when its terminal record has been written -- each line flushed and
+fsynced, so the set of accepted-without-done requests survives any crash.
+A restarted daemon replays :meth:`RequestJournal.unfinished` before
+accepting new work; inference is deterministic per (benchmark, seed,
+config), so the re-run produces bit-identical results to what the crashed
+run would have delivered.
+
+Periodically the journal is *checkpointed*: compacted down to just the
+still-unfinished ``accepted`` events, written to a sibling temp file and
+atomically ``os.replace``d over the journal.  A failed checkpoint (disk
+full, or the ``serve_checkpoint`` fault site firing) leaves the
+uncompacted journal in place -- larger, never less correct.  A torn final
+line (the crash happened mid-append) is ignored on load; everything before
+it is intact by the flush-then-fsync ordering.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+from repro.serve.protocol import ServeRequest
+
+log = logging.getLogger("repro.serve")
+
+
+class RequestJournal:
+    """Append-only request journal with atomic checkpoint compaction."""
+
+    def __init__(self, path, fault_plan=None):
+        self.path = os.fspath(path)
+        self.fault_plan = fault_plan
+        #: Events appended since the last checkpoint (compaction cadence).
+        self.events_since_checkpoint = 0
+        directory = os.path.dirname(os.path.abspath(self.path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------- append --
+
+    def _append(self, event: dict) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.events_since_checkpoint += 1
+
+    def record_accepted(self, request: ServeRequest) -> None:
+        """Journal an admission; durable before the client sees 'accepted'."""
+        self._append({"event": "accepted", "request": request.as_dict()})
+
+    def record_done(self, request_id: str) -> None:
+        """Journal a terminal record; the request will not be resumed."""
+        self._append({"event": "done", "id": request_id})
+
+    # --------------------------------------------------------- checkpoint --
+
+    def checkpoint(self) -> bool:
+        """Compact to the still-unfinished requests; atomic, best-effort.
+
+        Returns whether the compaction happened.  Any failure (including an
+        injected ``serve_checkpoint`` fault) is absorbed: the uncompacted
+        journal keeps every event, so resume stays correct either way.
+        """
+        pending = self.unfinished()
+        temp_path = self.path + ".tmp"
+        try:
+            if self.fault_plan is not None:
+                from repro.faults import maybe_inject
+
+                maybe_inject(self.fault_plan, "serve_checkpoint", qualifier=self.path)
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                for request in pending:
+                    handle.write(
+                        json.dumps(
+                            {"event": "accepted", "request": request.as_dict()},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(temp_path, self.path)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self.events_since_checkpoint = 0
+            return True
+        except Exception as exc:  # noqa: BLE001 -- journal must never raise
+            log.warning(
+                "request journal %s: checkpoint failed (%s: %s); keeping the "
+                "uncompacted journal",
+                self.path,
+                type(exc).__name__,
+                exc,
+            )
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            if self._file.closed:
+                self._file = open(self.path, "a", encoding="utf-8")
+            return False
+
+    # --------------------------------------------------------------- load --
+
+    def unfinished(self) -> list[ServeRequest]:
+        """Accepted-without-done requests, in admission order.
+
+        Tolerates a torn final line (crash mid-append) and skips anything
+        undecodable with a warning -- a damaged journal line costs at most
+        one lost resume, never a daemon that refuses to start.
+        """
+        pending: dict[str, ServeRequest] = {}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return []
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+                if event["event"] == "accepted":
+                    data = event["request"]
+                    request = ServeRequest(
+                        id=data["id"],
+                        benchmarks=tuple(data["benchmarks"]),
+                        seed=data["seed"],
+                        deadline=data["deadline"],
+                    )
+                    pending[request.id] = request
+                elif event["event"] == "done":
+                    pending.pop(event["id"], None)
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if number == len(lines):
+                    log.info(
+                        "request journal %s: ignoring torn final line", self.path
+                    )
+                else:
+                    log.warning(
+                        "request journal %s:%d: undecodable event (%s); skipped",
+                        self.path,
+                        number,
+                        exc,
+                    )
+        return list(pending.values())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

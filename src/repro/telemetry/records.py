@@ -51,6 +51,13 @@ SPAN_KINDS = (
     # (worker respawn, quarantine).  See docs/resilience.md.
     "retry",
     "pool_heal",
+    # Serving-layer spans (repro.serve): one ``request`` per accepted
+    # request, a ``queue_wait`` covering its time in the admission queue,
+    # and one ``drain`` covering a SIGTERM graceful shutdown.  See
+    # docs/serving.md.
+    "request",
+    "queue_wait",
+    "drain",
 )
 
 _SPAN_REQUIRED = ("id", "kind", "ts", "dur", "pid", "track")

@@ -116,6 +116,14 @@ class TestSearchSpaceGuard:
             "pool_rebuilds",
             "degraded_sequential",
             "faults_injected",
+            # Pinned at zero: the serving layer (repro.serve) must be
+            # provably inert for one-shot (non-daemon) runs.
+            "serve_requests",
+            "serve_queue_high_water",
+            "serve_rejections",
+            "serve_deadline_expiries",
+            "serve_client_disconnects",
+            "serve_requests_resumed",
         ):
             assert stats[key] == recorded[key], (
                 f"{name}: {key} changed from {recorded[key]} to {stats[key]} "
@@ -169,6 +177,12 @@ class TestSearchSpaceGuard:
             "pool_rebuilds",
             "degraded_sequential",
             "faults_injected",
+            "serve_requests",
+            "serve_queue_high_water",
+            "serve_rejections",
+            "serve_deadline_expiries",
+            "serve_client_disconnects",
+            "serve_requests_resumed",
         ):
             assert key in stats, f"cache_stats() lost the {key!r} counter"
 

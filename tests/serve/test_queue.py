@@ -1,0 +1,163 @@
+"""Admission-queue properties: FIFO order, bounded capacity, determinism.
+
+The ``AdmissionQueue`` is the whole of the daemon's admission control, so
+it gets property-level scrutiny: a sequential hypothesis model check, a
+deterministically-interleaved concurrent check (hypothesis picks the
+interleaving, a turnstile makes real threads follow it exactly), and a
+free-running stress check for the invariants that survive nondeterminism.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.daemon import AdmissionQueue
+
+
+class TestSequentialModel:
+    @given(
+        limit=st.integers(min_value=1, max_value=4),
+        ops=st.lists(
+            st.one_of(st.integers(min_value=0, max_value=99), st.just("pop")),
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_fifo_model(self, limit, ops):
+        queue = AdmissionQueue(limit)
+        model: list[int] = []
+        high_water = 0
+        for op in ops:
+            if op == "pop":
+                expected = model.pop(0) if model else None
+                assert queue.pop(timeout=0.0) == expected
+            else:
+                accepted = queue.offer(op)
+                assert accepted == (len(model) < limit)
+                if accepted:
+                    model.append(op)
+                    high_water = max(high_water, len(model))
+        assert queue.depth() == len(model)
+        assert queue.high_water == high_water
+
+    def test_close_rejects_and_returns_backlog(self):
+        queue = AdmissionQueue(4)
+        assert queue.offer("a") and queue.offer("b")
+        assert queue.close() == ["a", "b"]
+        assert queue.offer("c") is False
+        assert queue.pop(timeout=0.0) is None
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestConcurrentAdmission:
+    @given(
+        data=st.data(),
+        limit=st.integers(min_value=1, max_value=3),
+        counts=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_admission_is_fifo_and_deterministic(self, data, limit, counts):
+        """Real threads, hypothesis-chosen arrival order, model-checked outcome.
+
+        A turnstile forces the producer threads to hit ``offer`` in exactly
+        the drawn interleaving, so the set of admitted items -- and the pop
+        order -- must equal what the sequential FIFO model predicts.  This
+        is the determinism contract: admission depends only on arrival
+        order and capacity, never on which thread carried the submission.
+        """
+        # Each producer's items, then a drawn interleaving of producer turns.
+        items = {
+            producer: [(producer, index) for index in range(count)]
+            for producer, count in enumerate(counts)
+        }
+        turn_pool = [producer for producer, count in enumerate(counts) for _ in range(count)]
+        order = data.draw(st.permutations(turn_pool))
+
+        queue = AdmissionQueue(limit)
+        outcomes: dict[tuple[int, int], bool] = {}
+        turn = {"index": 0}
+        condition = threading.Condition()
+
+        def produce(producer: int) -> None:
+            for item in items[producer]:
+                with condition:
+                    while order[turn["index"]] != producer:
+                        condition.wait()
+                    outcomes[item] = queue.offer(item)
+                    turn["index"] += 1
+                    condition.notify_all()
+
+        threads = [
+            threading.Thread(target=produce, args=(producer,)) for producer in items
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+        # Replay the same arrival order against the sequential model.
+        expected_accepted = []
+        position = {producer: 0 for producer in items}
+        for producer in order:
+            item = items[producer][position[producer]]
+            position[producer] += 1
+            if len(expected_accepted) < limit:
+                expected_accepted.append(item)
+        # (The model never pops, so exactly the first `limit` arrivals fit.)
+        for item, accepted in outcomes.items():
+            assert accepted == (item in expected_accepted), (item, accepted)
+        popped = []
+        while True:
+            item = queue.pop(timeout=0.0)
+            if item is None:
+                break
+            popped.append(item)
+        assert popped == expected_accepted
+
+    def test_free_running_stress_keeps_invariants(self):
+        """Unconstrained concurrency: FIFO per producer, bounded high water."""
+        queue = AdmissionQueue(8)
+        producers, per_producer = 4, 50
+        popped: list[tuple[int, int]] = []
+        accepted: dict[int, list[tuple[int, int]]] = {p: [] for p in range(producers)}
+        done = threading.Event()
+
+        def produce(producer: int) -> None:
+            for index in range(per_producer):
+                if queue.offer((producer, index)):
+                    accepted[producer].append((producer, index))
+
+        def consume() -> None:
+            while not done.is_set() or queue.depth():
+                item = queue.pop(timeout=0.01)
+                if item is not None:
+                    popped.append(item)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        threads = [threading.Thread(target=produce, args=(p,)) for p in range(producers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        done.set()
+        consumer.join(timeout=10.0)
+        assert not consumer.is_alive()
+
+        assert queue.high_water <= 8
+        assert sorted(popped) == sorted(
+            item for items in accepted.values() for item in items
+        )
+        for producer in range(producers):
+            # FIFO per producer: the consumer saw this producer's accepted
+            # items in exactly the order it offered them.
+            seen = [item for item in popped if item[0] == producer]
+            assert seen == accepted[producer]
