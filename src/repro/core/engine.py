@@ -641,6 +641,7 @@ class InferenceEngine:
         batch: Sequence[EngineJob],
         on_report: Callable[[int, EngineReport], None] | None = None,
         cancel: Callable[[], str | None] | None = None,
+        timeout_for: Callable[[EngineJob], float | None] | None = None,
     ) -> list[EngineReport]:
         """Execute a batch and return one report per job, in job order.
 
@@ -659,6 +660,12 @@ class InferenceEngine:
         deliberate, not a worker fault).  Inline in-flight jobs cannot be
         interrupted this way; give them a ``timeout`` when the caller needs
         a hard bound (the serve daemon does exactly that for deadlines).
+
+        ``timeout_for`` overrides a job's ``timeout`` at the moment the job
+        is (re)submitted for execution, not at batch start.  This is how a
+        shrinking wall-clock budget (the serve daemon's per-request
+        deadline) stays accurate for the later jobs of a batch: each one is
+        stamped with only the budget remaining when it actually starts.
         """
         # Bake the engine-wide default timeout into each job so the executing
         # process (inline or pool worker) enforces it locally.
@@ -679,12 +686,16 @@ class InferenceEngine:
                         job=job, ok=False, error=f"cancelled: {reason}", seconds=0.0
                     )
                 else:
+                    if timeout_for is not None:
+                        job = replace(job, timeout=timeout_for(job))
                     report = self._execute_inline(job)
                 if on_report is not None:
                     on_report(index, report)
                 reports.append(report)
             return reports
-        return self._run_pool(batch, on_report=on_report, cancel=cancel)
+        return self._run_pool(
+            batch, on_report=on_report, cancel=cancel, timeout_for=timeout_for
+        )
 
     def _execute_inline(self, job: EngineJob) -> EngineReport:
         """Run one job in this process, with the same retry policy as the pool.
@@ -728,6 +739,7 @@ class InferenceEngine:
         batch: list[EngineJob],
         on_report: Callable[[int, EngineReport], None] | None = None,
         cancel: Callable[[], str | None] | None = None,
+        timeout_for: Callable[[EngineJob], float | None] | None = None,
     ) -> list[EngineReport]:
         # Load the registry in the parent so forked workers inherit it and
         # do not re-import the benchmark modules once per process.
@@ -754,7 +766,9 @@ class InferenceEngine:
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
-        supervisor = _PoolSupervisor(self, context, batch, on_report=on_report, cancel=cancel)
+        supervisor = _PoolSupervisor(
+            self, context, batch, on_report=on_report, cancel=cancel, timeout_for=timeout_for
+        )
         try:
             reports = supervisor.run()
         finally:
@@ -920,12 +934,14 @@ class _PoolSupervisor:
         batch: list[EngineJob],
         on_report: Callable[[int, EngineReport], None] | None = None,
         cancel: Callable[[], str | None] | None = None,
+        timeout_for: Callable[[EngineJob], float | None] | None = None,
     ):
         self.engine = engine
         self.context = context
         self.batch = batch
         self.on_report = on_report
         self.cancel = cancel
+        self.timeout_for = timeout_for
         self.cancelled = False
         self.worker_count = min(engine.jobs, len(batch))
         self.plan = next(
@@ -959,9 +975,15 @@ class _PoolSupervisor:
 
     # -------------------------------------------------------------- driver --
 
+    def _submit(self, index: int, job: EngineJob) -> None:
+        """Enqueue a job for a worker, restamping its timeout at this moment."""
+        if self.timeout_for is not None:
+            job = replace(job, timeout=self.timeout_for(job))
+        self.task_queue.put((index, job))
+
     def run(self) -> list[EngineReport]:
         for index, job in enumerate(self.batch):
-            self.task_queue.put((index, job))
+            self._submit(index, job)
         for _ in range(self.worker_count):
             self._spawn_worker()
         self._supervise()
@@ -1116,7 +1138,7 @@ class _PoolSupervisor:
         self.deferred = [(when, index) for when, index in self.deferred if when > now]
         for index in due:
             state = self.states[index]
-            self.task_queue.put((index, replace(state.job, attempt=state.retries)))
+            self._submit(index, replace(state.job, attempt=state.retries))
 
     # ------------------------------------------------------------- healing --
 
@@ -1248,7 +1270,7 @@ class _PoolSupervisor:
         )
         for index in sorted(waiting):
             state = self.states[index]
-            self.task_queue.put((index, replace(state.job, attempt=state.retries)))
+            self._submit(index, replace(state.job, attempt=state.retries))
         self.idle_polls = 0
 
     # ------------------------------------------------------------- workers --
@@ -1300,6 +1322,8 @@ class _PoolSupervisor:
                     return
             state = self.states[index]
             state.heal["degraded_sequential"] += 1
+            if self.timeout_for is not None:
+                state.job = replace(state.job, timeout=self.timeout_for(state.job))
 
             def count_retry(attempt: int, state=state) -> None:
                 state.heal["jobs_retried"] += 1

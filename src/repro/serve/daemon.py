@@ -10,8 +10,9 @@ per CLI invocation.  The robustness contract:
   would overflow it is rejected immediately with a structured ``rejected``
   record, never buffered unboundedly.
 * **Deadlines.**  A request's optional ``deadline`` (seconds from
-  admission) is enforced three ways: jobs get the remaining budget as
-  their in-process alarm timeout, the engine's cancel hook is polled
+  admission) is enforced three ways: each job is stamped, at the moment
+  the engine submits it, with the budget still remaining then as its
+  in-process alarm timeout, the engine's cancel hook is polled
   between jobs and on every pool poll (in-flight pool jobs are killed
   through the claim-slot machinery), and the terminal record is marked
   ``deadline_expired`` with whatever partial results were streamed.
@@ -32,8 +33,9 @@ Threading: the calling thread (the process main thread, under the CLI)
 runs resume and the executor loop -- keeping it the main thread is what
 makes ``SIGALRM`` job timeouts and signal-based drain work -- while one
 background thread accepts connections and one short-lived thread per
-connection reads submissions.  Only admission control and counters are
-shared across threads, both lock-guarded.
+connection reads submissions.  The state shared across threads -- the
+admission queue, the counters, the journal -- is lock-guarded; a pending
+request's disconnect/done flags are ``threading.Event``s.
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ import signal
 import socket
 import threading
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core.engine import CacheStats, EngineJob, InferenceEngine
 from repro.core.sling import SlingConfig
@@ -125,6 +127,11 @@ class AdmissionQueue:
         with self._condition:
             return len(self._items)
 
+    def high_water_mark(self) -> int:
+        """The high-water mark, read under the queue's lock."""
+        with self._condition:
+            return self.high_water
+
 
 class _ClientGone(Exception):
     """The request's client vanished mid-stream (write failed or EOF)."""
@@ -187,9 +194,12 @@ class _PendingRequest:
     enqueued_at: float
     resumed: bool = False
     #: Set by the reader thread on EOF, or by a failed record write; the
-    #: executor's cancel hook polls it.
-    disconnected: bool = False
-    done: bool = field(default=False)
+    #: executor's cancel hook polls it.  An Event, not a bool: it crosses
+    #: from reader to executor thread.
+    disconnected: threading.Event = field(default_factory=threading.Event)
+    #: Set by the executor once the terminal record is written; the reader
+    #: thread checks it on client hang-up to skip cancelling finished work.
+    done: threading.Event = field(default_factory=threading.Event)
 
 
 class ServeDaemon:
@@ -256,8 +266,11 @@ class ServeDaemon:
                     signum, lambda *_: self._draining.set()
                 )
         try:
-            self._resume_journaled()
+            # Bind before resuming: the socket probe in _listen doubles as
+            # the exclusivity check, so a second daemon pointed at a live
+            # socket fails here without replaying the live daemon's journal.
             self._listen()
+            self._resume_journaled()
             accept_thread = threading.Thread(
                 target=self._accept_loop, name="repro-serve-accept", daemon=True
             )
@@ -298,19 +311,22 @@ class ServeDaemon:
 
     def _teardown(self) -> None:
         self._stopping.set()
+        # Unlink the socket file only if *this* instance bound it
+        # (_listener is set right after bind): when _listen refused because
+        # a live daemon answered, that daemon's socket must stay reachable.
         if self._listener is not None:
             try:
                 self._listener.close()
+            except OSError:
+                pass
+            try:
+                os.unlink(self.socket_path)
             except OSError:
                 pass
         with self._conn_lock:
             connections = list(self._connections)
         for connection in connections:
             connection.close()
-        try:
-            os.unlink(self.socket_path)
-        except OSError:
-            pass
         self.journal.close()
         if self.telemetry is not None:
             self.telemetry.merge_segments()
@@ -393,8 +409,8 @@ class ServeDaemon:
             # EOF (or a broken read): the client is gone.  Whatever it
             # submitted and has not finished is cancelled, not leaked.
             for pending in submitted:
-                if not pending.done:
-                    pending.disconnected = True
+                if not pending.done.is_set():
+                    pending.disconnected.set()
             connection.close()
             with self._conn_lock:
                 if connection in self._connections:
@@ -417,18 +433,23 @@ class ServeDaemon:
         pending = _PendingRequest(
             request=request, sink=connection, enqueued_at=monotime()
         )
+        # Journal *before* the queue: the executor can pop and finish an
+        # offered request at any moment, and its 'done' event must land
+        # after the 'accepted' one -- and before the client is acknowledged,
+        # so a crash cannot lose a request the client saw accepted.
+        self.journal.record_accepted(request)
         if not self.queue.offer(pending):
+            # Never admitted: compensate so the journal does not resume it.
+            self.journal.record_done(request.id)
             self._safe_write(connection, rejected_record(request.id, "queue full"))
             with self._stats_lock:
                 self.stats.serve_rejections += 1
             return None
-        # Journal *before* acknowledging: once the client has seen
-        # 'accepted', a crash must not be able to lose the request.
-        self.journal.record_accepted(request)
         with self._stats_lock:
             self.stats.serve_requests += 1
-            if self.queue.high_water > self.stats.serve_queue_high_water:
-                self.stats.serve_queue_high_water = self.queue.high_water
+            high_water = self.queue.high_water_mark()
+            if high_water > self.stats.serve_queue_high_water:
+                self.stats.serve_queue_high_water = high_water
         self._safe_write(connection, accepted_record(request.id))
         return pending
 
@@ -506,7 +527,7 @@ class ServeDaemon:
                 seconds=monotime() - started,
             ),
         )
-        pending.done = True
+        pending.done.set()
         self.journal.record_done(request.id)
 
     def _execute(self, pending: _PendingRequest, started: float):
@@ -515,50 +536,54 @@ class ServeDaemon:
         deadline_at = (
             pending.enqueued_at + request.deadline if request.deadline is not None else None
         )
-        timeout = self.request_timeout
-        if deadline_at is not None:
-            remaining = deadline_at - started
-            if remaining <= 0:
-                # Expired while queued: nothing runs, every job is reported.
-                for name in request.benchmarks:
-                    self._stream_record(
-                        pending,
-                        {
-                            "type": "job",
-                            "id": request.id,
-                            "benchmark": name,
-                            "ok": False,
-                            "error": "cancelled: deadline",
-                        },
-                    )
-                return "deadline_expired", []
-            timeout = remaining if timeout is None else min(timeout, remaining)
+        if deadline_at is not None and started >= deadline_at:
+            # Expired while queued: nothing runs, every job is reported.
+            for name in request.benchmarks:
+                self._stream_record(
+                    pending,
+                    {
+                        "type": "job",
+                        "id": request.id,
+                        "benchmark": name,
+                        "ok": False,
+                        "error": "cancelled: deadline",
+                    },
+                )
+            return "deadline_expired", []
 
         def cancel() -> str | None:
-            if pending.disconnected:
+            if pending.disconnected.is_set():
                 return "client disconnected"
             if deadline_at is not None and monotime() > deadline_at:
                 return "deadline"
             return None
+
+        def timeout_for(job: EngineJob) -> float | None:
+            # Called by the engine when the job is submitted, so each job of
+            # a multi-benchmark request gets only the budget still left at
+            # that moment -- not the request-start remainder.  The floor
+            # covers the race where the deadline passes between the cancel
+            # poll and this stamp: the job then times out immediately.
+            timeout = self.request_timeout
+            if deadline_at is not None:
+                remaining = max(deadline_at - monotime(), 0.001)
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            return timeout
 
         def on_report(index: int, report) -> None:
             for record in records_for_report(request.id, report):
                 self._stream_record(pending, record, request_id=request.id)
 
         jobs = [
-            EngineJob(
-                kind="spec",
-                benchmark=name,
-                seed=request.seed,
-                config=self.config,
-                timeout=timeout,
-            )
+            EngineJob(kind="spec", benchmark=name, seed=request.seed, config=self.config)
             for name in request.benchmarks
         ]
-        reports = self.engine.run(jobs, on_report=on_report, cancel=cancel)
+        reports = self.engine.run(
+            jobs, on_report=on_report, cancel=cancel, timeout_for=timeout_for
+        )
 
         errors = [report.error or "" for report in reports if not report.ok]
-        if pending.disconnected or any(
+        if pending.disconnected.is_set() or any(
             error.startswith("cancelled: client disconnected") for error in errors
         ):
             return "cancelled", reports
@@ -575,7 +600,7 @@ class ServeDaemon:
         try:
             pending.sink.write(record, fault_plan=self.fault_plan, request_id=request_id)
         except _ClientGone:
-            pending.disconnected = True
+            pending.disconnected.set()
 
     # ---------------------------------------------------------------- drain --
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 
 from repro.serve.protocol import ServeRequest
 
@@ -30,13 +31,20 @@ log = logging.getLogger("repro.serve")
 
 
 class RequestJournal:
-    """Append-only request journal with atomic checkpoint compaction."""
+    """Append-only request journal with atomic checkpoint compaction.
+
+    Appends come from the daemon's reader threads while checkpoints (which
+    close and reopen the file) run on the executor thread, so every file
+    operation holds one reentrant lock -- reentrant because ``checkpoint``
+    reads the pending set through :meth:`unfinished`.
+    """
 
     def __init__(self, path, fault_plan=None):
         self.path = os.fspath(path)
         self.fault_plan = fault_plan
         #: Events appended since the last checkpoint (compaction cadence).
         self.events_since_checkpoint = 0
+        self._lock = threading.RLock()
         directory = os.path.dirname(os.path.abspath(self.path))
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -45,10 +53,11 @@ class RequestJournal:
     # ------------------------------------------------------------- append --
 
     def _append(self, event: dict) -> None:
-        self._file.write(json.dumps(event, sort_keys=True) + "\n")
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self.events_since_checkpoint += 1
+        with self._lock:
+            self._file.write(json.dumps(event, sort_keys=True) + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.events_since_checkpoint += 1
 
     def record_accepted(self, request: ServeRequest) -> None:
         """Journal an admission; durable before the client sees 'accepted'."""
@@ -67,44 +76,45 @@ class RequestJournal:
         injected ``serve_checkpoint`` fault) is absorbed: the uncompacted
         journal keeps every event, so resume stays correct either way.
         """
-        pending = self.unfinished()
-        temp_path = self.path + ".tmp"
-        try:
-            if self.fault_plan is not None:
-                from repro.faults import maybe_inject
-
-                maybe_inject(self.fault_plan, "serve_checkpoint", qualifier=self.path)
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                for request in pending:
-                    handle.write(
-                        json.dumps(
-                            {"event": "accepted", "request": request.as_dict()},
-                            sort_keys=True,
-                        )
-                        + "\n"
-                    )
-                handle.flush()
-                os.fsync(handle.fileno())
-            self._file.close()
-            os.replace(temp_path, self.path)
-            self._file = open(self.path, "a", encoding="utf-8")
-            self.events_since_checkpoint = 0
-            return True
-        except Exception as exc:  # noqa: BLE001 -- journal must never raise
-            log.warning(
-                "request journal %s: checkpoint failed (%s: %s); keeping the "
-                "uncompacted journal",
-                self.path,
-                type(exc).__name__,
-                exc,
-            )
+        with self._lock:
+            pending = self.unfinished()
+            temp_path = self.path + ".tmp"
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            if self._file.closed:
+                if self.fault_plan is not None:
+                    from repro.faults import maybe_inject
+
+                    maybe_inject(self.fault_plan, "serve_checkpoint", qualifier=self.path)
+                with open(temp_path, "w", encoding="utf-8") as handle:
+                    for request in pending:
+                        handle.write(
+                            json.dumps(
+                                {"event": "accepted", "request": request.as_dict()},
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._file.close()
+                os.replace(temp_path, self.path)
                 self._file = open(self.path, "a", encoding="utf-8")
-            return False
+                self.events_since_checkpoint = 0
+                return True
+            except Exception as exc:  # noqa: BLE001 -- journal must never raise
+                log.warning(
+                    "request journal %s: checkpoint failed (%s: %s); keeping the "
+                    "uncompacted journal",
+                    self.path,
+                    type(exc).__name__,
+                    exc,
+                )
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                if self._file.closed:
+                    self._file = open(self.path, "a", encoding="utf-8")
+                return False
 
     # --------------------------------------------------------------- load --
 
@@ -117,7 +127,7 @@ class RequestJournal:
         """
         pending: dict[str, ServeRequest] = {}
         try:
-            with open(self.path, encoding="utf-8") as handle:
+            with self._lock, open(self.path, encoding="utf-8") as handle:
                 lines = handle.read().splitlines()
         except FileNotFoundError:
             return []
@@ -153,5 +163,6 @@ class RequestJournal:
         return list(pending.values())
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()

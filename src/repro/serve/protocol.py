@@ -22,7 +22,9 @@ seconds from admission) bounds the request's wall clock.  Response records
     The request passed admission control and was journaled.
 ``rejected``
     Admission control refused it (``reason``: ``queue full``, ``draining``
-    or a parse error); nothing was run and nothing was journaled.
+    or a parse error); nothing was run and nothing stays journaled (a
+    queue-full rejection is journaled before the offer and immediately
+    compensated, so a restart never resumes it).
 ``result``
     One per (function, location) as it resolves: the invariants inferred
     at that location.

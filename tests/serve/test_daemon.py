@@ -158,6 +158,64 @@ class TestKillAndResume:
         reopened.close()
 
 
+class _RecordingSink:
+    """A stand-in connection for direct _admit calls; collects records."""
+
+    def __init__(self):
+        self.records = []
+
+    def write(self, record, fault_plan=None, request_id=""):
+        self.records.append(record)
+
+
+class TestSocketExclusivity:
+    def test_second_daemon_leaves_live_socket_intact(self, tmp_path):
+        """A refused rival must not unlink the running daemon's socket."""
+        host = _DaemonHost(tmp_path, jobs=1)
+        try:
+            rival = ServeDaemon(
+                host.socket_path, journal_path=str(tmp_path / "rival.journal")
+            )
+            with pytest.raises(RuntimeError, match="live daemon"):
+                rival.serve(install_signals=False)
+            assert os.path.exists(host.socket_path)
+            out = io.StringIO()
+            terminal = submit(
+                host.socket_path,
+                ServeRequest(id="still-up", benchmarks=WORKLOAD[:1]),
+                out,
+            )
+            assert terminal["status"] == "complete"
+        finally:
+            host.stop()
+
+
+class TestAdmissionJournal:
+    def test_overflow_rejection_never_resumes(self, tmp_path):
+        """A queue-full rejection leaves no unfinished journal entry."""
+        daemon = ServeDaemon(str(tmp_path / "serve.sock"), queue_limit=1)
+        sink = _RecordingSink()
+        try:
+            admitted = daemon._admit(
+                sink, json.dumps({"id": "kept", "benchmarks": list(WORKLOAD[:1])})
+            )
+            assert admitted is not None
+            rejected = daemon._admit(
+                sink, json.dumps({"id": "spilt", "benchmarks": list(WORKLOAD[:1])})
+            )
+            assert rejected is None
+            assert [record["type"] for record in sink.records] == [
+                "accepted",
+                "rejected",
+            ]
+            assert daemon.stats.serve_rejections == 1
+        finally:
+            daemon.journal.close()
+        journal = RequestJournal(daemon.journal_path)
+        assert [request.id for request in journal.unfinished()] == ["kept"]
+        journal.close()
+
+
 class TestOneShotCliEquivalence:
     @pytest.fixture(scope="class")
     def cli_env(self):
